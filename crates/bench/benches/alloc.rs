@@ -1,0 +1,85 @@
+//! The §6.2.10 allocator ablation: "a significant amount of time is spent
+//! in memory allocation and deallocation ... attributable to the fact
+//! that the OSKit's default memory manager library is designed for
+//! flexibility and space efficiency rather than common-case performance.
+//! For fast allocation of small data structures ... a more conventional
+//! high-level allocator would be more appropriate."
+//!
+//! Compares the raw LMM, the header-based kernel malloc on it, and the
+//! segregated-fit front end (the "conventional allocator" the paper
+//! anticipated), plus the memdebug wrapper's overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oskit::clib::malloc::{simple_heap, FastMalloc, KMalloc, Malloc};
+use oskit::lmm::Lmm;
+use oskit::memdebug::{MemDebug, VecStore};
+
+/// The workload: the paper's profile was protocol processing — lots of
+/// small, short-lived allocations of mixed sizes.
+const SIZES: [u64; 8] = [16, 32, 64, 96, 128, 256, 1024, 2048];
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_free_smallobj");
+
+    g.bench_function("lmm_raw", |b| {
+        let mut lmm = Lmm::new();
+        lmm.add_region(0, 1 << 24, 0, 0);
+        lmm.add_free(0, 1 << 24);
+        b.iter(|| {
+            let mut held = [0u64; 8];
+            for (i, &s) in SIZES.iter().enumerate() {
+                held[i] = lmm.alloc(s, 0).unwrap();
+            }
+            for (i, &s) in SIZES.iter().enumerate() {
+                lmm.free(held[i], s);
+            }
+        })
+    });
+
+    g.bench_function("kmalloc_over_lmm", |b| {
+        let m = KMalloc::new(simple_heap(0, 1 << 24), 0);
+        b.iter(|| {
+            let mut held = [0u64; 8];
+            for (i, &s) in SIZES.iter().enumerate() {
+                held[i] = m.malloc(s).unwrap();
+            }
+            for &h in &held {
+                m.free(h);
+            }
+        })
+    });
+
+    g.bench_function("fastmalloc_segregated_fit", |b| {
+        let m = FastMalloc::new(simple_heap(0, 1 << 24), 0);
+        b.iter(|| {
+            let mut held = [0u64; 8];
+            for (i, &s) in SIZES.iter().enumerate() {
+                held[i] = m.malloc(s).unwrap();
+            }
+            for &h in &held {
+                m.free(h);
+            }
+        })
+    });
+
+    g.bench_function("memdebug_wrapped", |b| {
+        let md = MemDebug::new(
+            KMalloc::new(simple_heap(0, 1 << 24), 0),
+            VecStore::new(1 << 24),
+        );
+        b.iter(|| {
+            let mut held = [0u64; 8];
+            for (i, &s) in SIZES.iter().enumerate() {
+                held[i] = md.malloc(s, "bench").unwrap();
+            }
+            for &h in &held {
+                md.free(h);
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Host-time regression bench over the Table 1 configurations: how fast
+//! the simulator itself pushes a fixed ttcp workload through each stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oskit::{ttcp_run, NetConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ttcp_16MBish");
+    g.sample_size(10);
+    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+        g.bench_function(cfg.name(), |b| {
+            b.iter(|| {
+                let r = ttcp_run(cfg, 256, 4096);
+                assert_eq!(r.bytes, 256 * 4096);
+                r.mbit_s
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §4.7.3 copy avoidance: reading a packet through `bufio` by mapping
+//! (zero copy) versus `read` (one copy), across packet sizes — the
+//! mechanism behind Table 1's send/receive asymmetry.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oskit::com::interfaces::blkio::{BufIo, VecBufIo};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_handoff");
+    for size in [54usize, 576, 1514] {
+        let pkt = VecBufIo::from_vec(vec![0xABu8; size]);
+        g.bench_with_input(BenchmarkId::new("map_zero_copy", size), &size, |b, &n| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                pkt.with_map(0, n, &mut |d| sum = u64::from(d[0]) + u64::from(d[n - 1]))
+                    .unwrap();
+                black_box(sum)
+            })
+        });
+        let pkt2 = VecBufIo::from_vec(vec![0xABu8; size]);
+        g.bench_with_input(BenchmarkId::new("read_with_copy", size), &size, |b, &n| {
+            let mut buf = vec![0u8; n];
+            b.iter(|| {
+                use oskit::com::interfaces::blkio::BlkIo;
+                pkt2.read(black_box(&mut buf), 0).unwrap();
+                black_box(u64::from(buf[0]) + u64::from(buf[n - 1]))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! The price of COM: direct call vs virtual dispatch vs query+dispatch —
+//! the per-call cost behind Table 2's "price we pay for modularity and
+//! separability".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oskit::com::interfaces::blkio::{BlkIo, VecBufIo};
+use oskit::com::Query;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let obj = VecBufIo::from_vec(vec![7u8; 4096]);
+    let as_blkio: Arc<dyn BlkIo> = obj.query::<dyn BlkIo>().unwrap();
+    let mut buf = [0u8; 64];
+
+    let mut g = c.benchmark_group("call_overhead");
+    g.bench_function("direct_concrete_call", |b| {
+        b.iter(|| obj.read(black_box(&mut buf), black_box(128)).unwrap())
+    });
+    g.bench_function("com_virtual_call", |b| {
+        b.iter(|| as_blkio.read(black_box(&mut buf), black_box(128)).unwrap())
+    });
+    g.bench_function("query_then_call", |b| {
+        b.iter(|| {
+            // The full COM rendezvous: query for the interface, call, drop
+            // the reference (addref/release pair via Arc).
+            let blk = obj.query::<dyn BlkIo>().unwrap();
+            blk.read(black_box(&mut buf), black_box(128)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

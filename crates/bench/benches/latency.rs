@@ -1,0 +1,22 @@
+//! Host-time regression bench over the Table 2 configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oskit::{rtcp_run, NetConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtcp_100rt");
+    g.sample_size(10);
+    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+        g.bench_function(cfg.name(), |b| {
+            b.iter(|| {
+                let r = rtcp_run(cfg, 100);
+                assert_eq!(r.round_trips, 100);
+                r.rtt_us
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates paper Table 1: "TCP bandwidth in MBit/s measured with ttcp
+//! between two Pentium Pro 200MHz PCs connected by 100Mbps Ethernet."
+//!
+//! Methodology (see EXPERIMENTS.md): the Send row pairs the system under
+//! test with a native-FreeBSD receiver; the Receive row pairs a
+//! native-FreeBSD sender with the system under test.  Default run is
+//! 16 MB per cell; `--paper` uses the paper's full 131072×4096 B = 512 MB.
+
+use oskit::{ttcp_run_mixed, NetConfig};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let blocks = if paper { 131_072 } else { 4096 };
+    let bs = 4096;
+    println!("Table 1: TCP bandwidth (Mbit/s of virtual time), ttcp,");
+    println!(
+        "{} blocks x {} B over simulated 100 Mbit/s Ethernet\n",
+        blocks, bs
+    );
+    println!("{:10} {:>10} {:>10}", "", "Send", "Receive");
+    let mut rows = Vec::new();
+    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+        let send = ttcp_run_mixed(cfg, NetConfig::FreeBsd, blocks, bs);
+        let recv = ttcp_run_mixed(NetConfig::FreeBsd, cfg, blocks, bs);
+        println!(
+            "{:10} {:>10.2} {:>10.2}",
+            cfg.name(),
+            send.mbit_s,
+            recv.mbit_s
+        );
+        rows.push((cfg, send, recv));
+    }
+    println!();
+    println!("paper shape checks:");
+    let bsd_send = rows[1].1.mbit_s;
+    let oskit_send = rows[2].1.mbit_s;
+    let bsd_recv = rows[1].2.mbit_s;
+    let oskit_recv = rows[2].2.mbit_s;
+    check(
+        "OSKit receives about as fast as FreeBSD (zero-copy skbuff→mbuf)",
+        (oskit_recv / bsd_recv - 1.0).abs() < 0.05,
+    );
+    check(
+        "OSKit send is measurably below FreeBSD (extra mbuf→skbuff copy)",
+        oskit_send < bsd_send * 0.9,
+    );
+    let (_, s, _) = &rows[2];
+    println!(
+        "\nmechanics: OSKit sender copied {} B ({} copies, {} crossings);",
+        s.sender.bytes_copied, s.sender.copies, s.sender.crossings
+    );
+    let (_, s, _) = &rows[1];
+    println!(
+        "           FreeBSD sender copied {} B ({} copies, {} crossings).",
+        s.sender.bytes_copied, s.sender.copies, s.sender.crossings
+    );
+}
+
+fn check(what: &str, ok: bool) {
+    println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, what);
+}

@@ -1,0 +1,408 @@
+//! The boot-module file system ("bmod", paper §6.2.2).
+//!
+//! "A particularly notable feature of the OSKit's minimal environment is
+//! its boot module support, which provides a simple RAM-disk file system
+//! accessible immediately upon bootstrap through POSIX's standard
+//! open/close/read/write interfaces."
+//!
+//! Each boot module becomes a file named by the first word of its
+//! user-defined string; files live entirely in memory and are readable and
+//! writable.  New files can be created (Fluke used the bmod as the root
+//! file system of its first server).
+
+use crate::multiboot::MultibootInfo;
+use oskit_com::interfaces::fs::{
+    check_component, Dir, Dirent, File, FileStat, FileSystem, FileType, FsStat, StatChange,
+};
+use oskit_com::{com_object, new_com, Error, Result, SelfRef};
+use oskit_machine::Machine;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A file in the bmod file system.
+struct BmodFile {
+    me: SelfRef<BmodFile>,
+    ino: u64,
+    data: Mutex<Vec<u8>>,
+    mode: Mutex<u32>,
+}
+
+impl File for BmodFile {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<usize> {
+        let data = self.data.lock();
+        let off = offset as usize;
+        if off >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        Ok(n)
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<usize> {
+        let mut data = self.data.lock();
+        let off = offset as usize;
+        let end = off.checked_add(buf.len()).ok_or(Error::FBig)?;
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        data[off..end].copy_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn getstat(&self) -> Result<FileStat> {
+        let data = self.data.lock();
+        Ok(FileStat {
+            ino: self.ino,
+            kind: FileType::Regular,
+            mode: *self.mode.lock(),
+            size: data.len() as u64,
+            blocks: (data.len() as u64).div_ceil(512),
+            ..FileStat::default()
+        })
+    }
+
+    fn setstat(&self, change: &StatChange) -> Result<()> {
+        if let Some(mode) = change.mode {
+            *self.mode.lock() = mode & 0o7777;
+        }
+        if let Some(size) = change.size {
+            self.data.lock().resize(size as usize, 0);
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(()) // RAM-backed: nothing to flush.
+    }
+}
+com_object!(BmodFile, me, [File]);
+
+/// The single (root) directory of a bmod file system.
+pub struct BmodFs {
+    me: SelfRef<BmodFs>,
+    files: Mutex<BTreeMap<String, Arc<BmodFile>>>,
+    next_ino: Mutex<u64>,
+}
+
+impl BmodFs {
+    /// Creates an empty bmod file system.
+    pub fn empty() -> Arc<BmodFs> {
+        new_com(
+            BmodFs {
+                me: SelfRef::new(),
+                files: Mutex::new(BTreeMap::new()),
+                next_ino: Mutex::new(2),
+            },
+            |o| &o.me,
+        )
+    }
+
+    /// Populates a bmod file system from the boot modules described by a
+    /// MultiBoot info structure, reading their contents out of physical
+    /// memory.
+    ///
+    /// The file name is the first whitespace-separated word of each
+    /// module's user string, with any directory prefix stripped — the
+    /// convention the OSKit used.
+    pub fn from_boot_modules(machine: &Arc<Machine>, info: &MultibootInfo) -> Arc<BmodFs> {
+        let fs = Self::empty();
+        for m in &info.modules {
+            let name = m
+                .string
+                .split_whitespace()
+                .next()
+                .unwrap_or("unnamed")
+                .rsplit('/')
+                .next()
+                .unwrap()
+                .to_string();
+            let mut data = vec![0u8; (m.end - m.start) as usize];
+            machine.phys.read(m.start, &mut data);
+            fs.add_file(&name, data);
+        }
+        fs
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn add_file(&self, name: &str, data: Vec<u8>) {
+        let ino = {
+            let mut n = self.next_ino.lock();
+            *n += 1;
+            *n
+        };
+        let f = new_com(
+            BmodFile {
+                me: SelfRef::new(),
+                ino,
+                data: Mutex::new(data),
+                mode: Mutex::new(0o644),
+            },
+            |o| &o.me,
+        );
+        self.files.lock().insert(name.to_string(), f);
+    }
+}
+
+impl File for BmodFs {
+    fn read_at(&self, _buf: &mut [u8], _offset: u64) -> Result<usize> {
+        Err(Error::IsDir)
+    }
+
+    fn write_at(&self, _buf: &[u8], _offset: u64) -> Result<usize> {
+        Err(Error::IsDir)
+    }
+
+    fn getstat(&self) -> Result<FileStat> {
+        Ok(FileStat {
+            ino: 2,
+            kind: FileType::Directory,
+            mode: 0o755,
+            nlink: 2,
+            size: self.files.lock().len() as u64,
+            ..FileStat::default()
+        })
+    }
+
+    fn setstat(&self, _change: &StatChange) -> Result<()> {
+        Err(Error::NotImpl)
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl Dir for BmodFs {
+    fn lookup(&self, name: &str) -> Result<Arc<dyn File>> {
+        check_component(name)?;
+        if name == "." || name == ".." {
+            return Ok(self.me.get() as Arc<dyn File>);
+        }
+        let files = self.files.lock();
+        files
+            .get(name)
+            .map(|f| Arc::clone(f) as Arc<dyn File>)
+            .ok_or(Error::NoEnt)
+    }
+
+    fn create(&self, name: &str, exclusive: bool, mode: u32) -> Result<Arc<dyn File>> {
+        check_component(name)?;
+        let mut files = self.files.lock();
+        if let Some(existing) = files.get(name) {
+            if exclusive {
+                return Err(Error::Exist);
+            }
+            return Ok(Arc::clone(existing) as Arc<dyn File>);
+        }
+        let ino = {
+            let mut n = self.next_ino.lock();
+            *n += 1;
+            *n
+        };
+        let f = new_com(
+            BmodFile {
+                me: SelfRef::new(),
+                ino,
+                data: Mutex::new(Vec::new()),
+                mode: Mutex::new(mode & 0o7777),
+            },
+            |o| &o.me,
+        );
+        files.insert(name.to_string(), Arc::clone(&f));
+        Ok(f as Arc<dyn File>)
+    }
+
+    fn mkdir(&self, _name: &str, _mode: u32) -> Result<Arc<dyn Dir>> {
+        // The bmod is deliberately flat, like the original.
+        Err(Error::NotImpl)
+    }
+
+    fn unlink(&self, name: &str) -> Result<()> {
+        check_component(name)?;
+        self.files
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or(Error::NoEnt)
+    }
+
+    fn rmdir(&self, _name: &str) -> Result<()> {
+        Err(Error::NotDir)
+    }
+
+    fn rename(&self, old_name: &str, _new_dir: &dyn Dir, new_name: &str) -> Result<()> {
+        check_component(old_name)?;
+        check_component(new_name)?;
+        // The bmod has a single directory, so renames stay inside it.
+        let mut files = self.files.lock();
+        let f = files.remove(old_name).ok_or(Error::NoEnt)?;
+        files.insert(new_name.to_string(), f);
+        Ok(())
+    }
+
+    fn link(&self, name: &str, _file: &dyn File) -> Result<()> {
+        check_component(name)?;
+        Err(Error::NotImpl)
+    }
+
+    fn readdir(&self, start: usize, count: usize) -> Result<Vec<Dirent>> {
+        let files = self.files.lock();
+        let mut all = vec![
+            Dirent {
+                ino: 2,
+                name: ".".to_string(),
+            },
+            Dirent {
+                ino: 2,
+                name: "..".to_string(),
+            },
+        ];
+        all.extend(files.iter().map(|(n, f)| Dirent {
+            ino: f.ino,
+            name: n.clone(),
+        }));
+        Ok(all.into_iter().skip(start).take(count).collect())
+    }
+}
+
+impl FileSystem for BmodFs {
+    fn getroot(&self) -> Result<Arc<dyn Dir>> {
+        Ok(self.me.get() as Arc<dyn Dir>)
+    }
+
+    fn statfs(&self) -> Result<FsStat> {
+        let files = self.files.lock();
+        Ok(FsStat {
+            bsize: 1,
+            blocks: files.values().map(|f| f.data.lock().len() as u64).sum(),
+            bfree: u64::MAX / 2, // Bounded only by RAM.
+            files: files.len() as u64,
+            ffree: u64::MAX / 2,
+        })
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn unmount(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+com_object!(BmodFs, me, [File, Dir, FileSystem]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{load, make_image, BootModule};
+    use oskit_com::Query;
+    use oskit_machine::Sim;
+
+    #[test]
+    fn files_from_boot_modules() {
+        let sim = Sim::new();
+        let machine = Machine::new(&sim, "m", 32 * 1024 * 1024);
+        let image = make_image(0x100000, &[]);
+        let mods = vec![
+            BootModule::new("/boot/heap.img --big", b"ML heap".to_vec()),
+            BootModule::new("init", b"#!init".to_vec()),
+        ];
+        let loaded = load(&machine, &image, "", &mods).unwrap();
+        let info = MultibootInfo::read_from(&machine.phys, loaded.info_addr);
+        let fs = BmodFs::from_boot_modules(&machine, &info);
+        // Directory prefix stripped, args dropped.
+        let f = fs.lookup("heap.img").unwrap();
+        let mut buf = [0u8; 16];
+        let n = f.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..n], b"ML heap");
+        assert!(fs.lookup("init").is_ok());
+        assert!(fs.lookup("missing").is_err());
+    }
+
+    #[test]
+    fn create_write_read_unlink() {
+        let fs = BmodFs::empty();
+        let f = fs.create("new.txt", true, 0o600).unwrap();
+        assert_eq!(f.write_at(b"hello", 0).unwrap(), 5);
+        assert_eq!(f.write_at(b"!", 5).unwrap(), 1);
+        let mut buf = [0u8; 10];
+        let n = f.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..n], b"hello!");
+        assert_eq!(f.getstat().unwrap().size, 6);
+        assert_eq!(f.getstat().unwrap().mode, 0o600);
+        fs.unlink("new.txt").unwrap();
+        assert!(matches!(fs.lookup("new.txt"), Err(Error::NoEnt)));
+    }
+
+    #[test]
+    fn exclusive_create_fails_on_existing() {
+        let fs = BmodFs::empty();
+        fs.add_file("a", vec![1]);
+        assert!(matches!(fs.create("a", true, 0o644), Err(Error::Exist)));
+        // Non-exclusive opens the existing file.
+        let f = fs.create("a", false, 0o644).unwrap();
+        assert_eq!(f.getstat().unwrap().size, 1);
+    }
+
+    #[test]
+    fn readdir_lists_dot_entries_and_files() {
+        let fs = BmodFs::empty();
+        fs.add_file("b", vec![]);
+        fs.add_file("a", vec![]);
+        let entries = fs.readdir(0, 100).unwrap();
+        let names: Vec<_> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, [".", "..", "a", "b"]);
+        // Pagination.
+        let page = fs.readdir(2, 1).unwrap();
+        assert_eq!(page[0].name, "a");
+    }
+
+    #[test]
+    fn rename_within_root() {
+        let fs = BmodFs::empty();
+        fs.add_file("old", b"x".to_vec());
+        let root = fs.getroot().unwrap();
+        fs.rename("old", &*root, "new").unwrap();
+        assert!(fs.lookup("old").is_err());
+        assert!(fs.lookup("new").is_ok());
+    }
+
+    #[test]
+    fn truncate_via_setstat() {
+        let fs = BmodFs::empty();
+        fs.add_file("f", vec![1, 2, 3, 4]);
+        let f = fs.lookup("f").unwrap();
+        f.setstat(&StatChange {
+            size: Some(2),
+            ..StatChange::default()
+        })
+        .unwrap();
+        assert_eq!(f.getstat().unwrap().size, 2);
+    }
+
+    #[test]
+    fn fs_object_exposes_all_three_interfaces() {
+        let fs = BmodFs::empty();
+        let as_fs: Arc<dyn FileSystem> = fs.query::<dyn FileSystem>().unwrap();
+        let root = as_fs.getroot().unwrap();
+        // The root Dir can be queried back to the FileSystem (COM
+        // interface extension, paper §4.4.2).
+        assert!(root.query::<dyn FileSystem>().is_some());
+        assert_eq!(root.getstat().unwrap().kind, FileType::Directory);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let fs = BmodFs::empty();
+        let f = fs.create("sparse", true, 0o644).unwrap();
+        f.write_at(b"end", 100).unwrap();
+        let mut buf = [0xFFu8; 103];
+        let n = f.read_at(&mut buf, 0).unwrap();
+        assert_eq!(n, 103);
+        assert!(buf[..100].iter().all(|&b| b == 0));
+        assert_eq!(&buf[100..103], b"end");
+    }
+}

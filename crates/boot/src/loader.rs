@@ -1,0 +1,269 @@
+//! The boot loader: loads a MultiBoot image and its modules into a
+//! simulated machine.
+//!
+//! Paper §3.1: "the boot loader ... merely loads [boot modules] into
+//! chunks of reserved physical memory along with the kernel image itself.
+//! Upon starting the kernel, the boot loader then provides the kernel with
+//! a list of the physical addresses and sizes of all the boot modules that
+//! were loaded, along with an arbitrary user-defined string associated
+//! with each boot module."
+
+use crate::multiboot::{
+    MmapEntry, ModuleInfo, MultibootHeader, MultibootInfo, HF_ADDRS_VALID, HF_PAGE_ALIGN,
+    IF_CMDLINE, IF_MEMORY, IF_MMAP, IF_MODS,
+};
+use oskit_machine::{Machine, PhysAddr, LOWER_MEM_END, UPPER_MEM_START};
+use std::sync::Arc;
+
+/// A module to load alongside the kernel.
+#[derive(Clone, Debug)]
+pub struct BootModule {
+    /// The user-defined string (conventionally "name args...").
+    pub string: String,
+    /// The flat file contents.
+    pub data: Vec<u8>,
+}
+
+impl BootModule {
+    /// Convenience constructor.
+    pub fn new(string: impl Into<String>, data: impl Into<Vec<u8>>) -> BootModule {
+        BootModule {
+            string: string.into(),
+            data: data.into(),
+        }
+    }
+}
+
+/// The result of loading: what a MultiBoot loader leaves in registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadedKernel {
+    /// The kernel entry point (`%eip`).
+    pub entry: PhysAddr,
+    /// Physical address of the [`MultibootInfo`] structure (`%ebx`).
+    pub info_addr: PhysAddr,
+    /// First free physical address above everything the loader placed.
+    pub first_free: PhysAddr,
+}
+
+/// Errors the loader can report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// No valid MultiBoot header in the first 8 KB of the image.
+    NoHeader,
+    /// The header lacks `HF_ADDRS_VALID`; this flat-binary loader needs
+    /// explicit addresses (ELF loading lives in `oskit-exec`).
+    NoAddresses,
+    /// The image or a module does not fit in the machine's memory.
+    DoesNotFit,
+}
+
+/// Loads `image` and `modules` into `machine`, building the MultiBoot
+/// info structure.
+///
+/// Modules are placed after the kernel, page-aligned when the header asks
+/// for it (`HF_PAGE_ALIGN`).
+pub fn load(
+    machine: &Arc<Machine>,
+    image: &[u8],
+    cmdline: &str,
+    modules: &[BootModule],
+) -> Result<LoadedKernel, LoadError> {
+    let (hoff, header) = MultibootHeader::find(image).ok_or(LoadError::NoHeader)?;
+    if header.flags & HF_ADDRS_VALID == 0 {
+        return Err(LoadError::NoAddresses);
+    }
+    let phys = &machine.phys;
+    let mem_size = phys.size() as u32;
+
+    // The portion of the file to load: from the header onward (the
+    // MultiBoot rule: file offset of the header corresponds to
+    // header_addr), through load_end_addr or the whole file.
+    let load_addr = header.load_addr;
+    let file_start = hoff - (header.header_addr - load_addr) as usize;
+    let load_len = if header.load_end_addr != 0 {
+        (header.load_end_addr - load_addr) as usize
+    } else {
+        image.len() - file_start
+    };
+    let load_end = load_addr
+        .checked_add(load_len as u32)
+        .ok_or(LoadError::DoesNotFit)?;
+    if load_end > mem_size || file_start + load_len > image.len() {
+        return Err(LoadError::DoesNotFit);
+    }
+    phys.write(load_addr, &image[file_start..file_start + load_len]);
+
+    // Zero BSS.
+    let mut cursor = load_end;
+    if header.bss_end_addr != 0 {
+        if header.bss_end_addr > mem_size {
+            return Err(LoadError::DoesNotFit);
+        }
+        phys.fill(load_end, (header.bss_end_addr - load_end) as usize, 0);
+        cursor = header.bss_end_addr;
+    }
+
+    // Place the modules.
+    let mut mod_infos = Vec::new();
+    for m in modules {
+        if header.flags & HF_PAGE_ALIGN != 0 {
+            cursor = (cursor + 0xFFF) & !0xFFF;
+        } else {
+            cursor = (cursor + 3) & !3;
+        }
+        let end = cursor
+            .checked_add(m.data.len() as u32)
+            .ok_or(LoadError::DoesNotFit)?;
+        if end > mem_size {
+            return Err(LoadError::DoesNotFit);
+        }
+        phys.write(cursor, &m.data);
+        mod_infos.push(ModuleInfo {
+            start: cursor,
+            end,
+            string: m.string.clone(),
+        });
+        cursor = end;
+    }
+
+    // Build the info structure after the modules.
+    cursor = (cursor + 0xFFF) & !0xFFF;
+    let info_addr = cursor;
+    let info = MultibootInfo {
+        flags: IF_MEMORY | IF_CMDLINE | IF_MODS | IF_MMAP,
+        mem_lower: LOWER_MEM_END / 1024,
+        mem_upper: (mem_size - UPPER_MEM_START) / 1024,
+        boot_device: 0x8000_0000, // "first hard disk", BIOS convention.
+        cmdline: cmdline.to_string(),
+        modules: mod_infos,
+        mmap: vec![
+            MmapEntry {
+                base: 0,
+                length: u64::from(LOWER_MEM_END),
+                kind: MmapEntry::AVAILABLE,
+            },
+            MmapEntry {
+                base: u64::from(UPPER_MEM_START),
+                length: u64::from(mem_size - UPPER_MEM_START),
+                kind: MmapEntry::AVAILABLE,
+            },
+        ],
+    };
+    let first_free = info.write_to(phys, info_addr);
+
+    Ok(LoadedKernel {
+        entry: header.entry_addr,
+        info_addr,
+        first_free: (first_free + 0xFFF) & !0xFFF,
+    })
+}
+
+/// Builds a minimal MultiBoot-compliant image: header at offset 0, payload
+/// after it.  Used by tests and by example kernels that carry a data
+/// payload (e.g. the langos bytecode).
+pub fn make_image(load_addr: PhysAddr, payload: &[u8]) -> Vec<u8> {
+    let header = MultibootHeader {
+        flags: HF_PAGE_ALIGN | HF_ADDRS_VALID,
+        header_addr: load_addr,
+        load_addr,
+        load_end_addr: 0,
+        bss_end_addr: 0,
+        entry_addr: load_addr + MultibootHeader::SIZE as u32,
+    };
+    let mut image = header.encode().to_vec();
+    image.extend_from_slice(payload);
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskit_machine::Sim;
+
+    fn machine() -> Arc<Machine> {
+        let sim = Sim::new();
+        Machine::new(&sim, "boot-test", 32 * 1024 * 1024)
+    }
+
+    #[test]
+    fn loads_image_at_requested_address() {
+        let m = machine();
+        let image = make_image(0x100000, b"PAYLOAD");
+        let loaded = load(&m, &image, "", &[]).unwrap();
+        assert_eq!(loaded.entry, 0x100000 + 32);
+        let mut buf = [0u8; 7];
+        m.phys.read(0x100000 + 32, &mut buf);
+        assert_eq!(&buf, b"PAYLOAD");
+    }
+
+    #[test]
+    fn modules_are_loaded_page_aligned_with_strings() {
+        let m = machine();
+        let image = make_image(0x100000, &[0u8; 100]);
+        let mods = vec![
+            BootModule::new("initfs", vec![1u8; 5000]),
+            BootModule::new("config --verbose", vec![2u8; 10]),
+        ];
+        let loaded = load(&m, &image, "kernel arg1 arg2", &mods).unwrap();
+        let info = MultibootInfo::read_from(&m.phys, loaded.info_addr);
+        assert_eq!(info.cmdline, "kernel arg1 arg2");
+        assert_eq!(info.modules.len(), 2);
+        let m0 = &info.modules[0];
+        assert_eq!(m0.string, "initfs");
+        assert_eq!(m0.start % 4096, 0);
+        assert_eq!(m0.end - m0.start, 5000);
+        m.phys
+            .with_slice(m0.start, 5000, |s| assert!(s.iter().all(|&b| b == 1)));
+        let m1 = &info.modules[1];
+        assert_eq!(m1.string, "config --verbose");
+        assert_eq!(m1.start % 4096, 0);
+        // Module placement never overlaps.
+        assert!(m1.start >= m0.end);
+    }
+
+    #[test]
+    fn memory_map_reports_available_ram() {
+        let m = machine();
+        let image = make_image(0x100000, &[]);
+        let loaded = load(&m, &image, "", &[]).unwrap();
+        let info = MultibootInfo::read_from(&m.phys, loaded.info_addr);
+        assert_eq!(info.mem_lower, 640);
+        assert_eq!(info.mem_upper, (32 * 1024 * 1024 - 0x100000) / 1024);
+        assert_eq!(info.mmap.len(), 2);
+        assert!(info.mmap.iter().all(|e| e.kind == MmapEntry::AVAILABLE));
+    }
+
+    #[test]
+    fn bss_is_zeroed() {
+        let m = machine();
+        // Dirty the memory first.
+        m.phys.fill(0x200000, 0x4000, 0xFF);
+        let header = MultibootHeader {
+            flags: HF_ADDRS_VALID,
+            header_addr: 0x200000,
+            load_addr: 0x200000,
+            load_end_addr: 0x200040,
+            bss_end_addr: 0x202000,
+            entry_addr: 0x200020,
+        };
+        let mut image = header.encode().to_vec();
+        image.resize(0x40, 0xAB);
+        load(&m, &image, "", &[]).unwrap();
+        assert_eq!(m.phys.read_u8(0x200045), 0);
+        assert_eq!(m.phys.read_u8(0x201FFF), 0);
+    }
+
+    #[test]
+    fn rejects_headerless_image() {
+        let m = machine();
+        assert_eq!(load(&m, &[0u8; 1000], "", &[]), Err(LoadError::NoHeader));
+    }
+
+    #[test]
+    fn rejects_image_too_big_for_ram() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "tiny", 2 * 1024 * 1024);
+        let image = make_image(0x1F0000, &vec![0u8; 0x20000]);
+        assert_eq!(load(&m, &image, "", &[]), Err(LoadError::DoesNotFit));
+    }
+}

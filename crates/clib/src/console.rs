@@ -1,0 +1,122 @@
+//! The `putchar` → `puts` → `printf` chain with overridable links
+//! (paper §4.3.1).
+//!
+//! "The OSKit's default `printf` function is implemented in terms of two
+//! other functions, `puts` and `putchar`; the default `puts`, in turn, is
+//! implemented only in terms of `putchar`.  While this implementation
+//! would be a bug in a standard C library ... in the OSKit's minimal C
+//! library it is extremely useful because it allows the client OS to
+//! obtain basic formatted console output simply by providing a `putchar`
+//! function and nothing else."
+
+use crate::fmt::{vformat, Arg};
+use parking_lot::Mutex;
+
+type PutcharFn = Box<dyn FnMut(u8) + Send>;
+type PutsFn = Box<dyn FnMut(&str) + Send>;
+
+/// The minimal C library's console state: the overridable function slots.
+pub struct MinConsole {
+    putchar: Mutex<Option<PutcharFn>>,
+    puts: Mutex<Option<PutsFn>>,
+}
+
+impl Default for MinConsole {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MinConsole {
+    /// Creates a console with no sink: output is discarded until the
+    /// client provides `putchar` (or `puts`).
+    pub fn new() -> MinConsole {
+        MinConsole {
+            putchar: Mutex::new(None),
+            puts: Mutex::new(None),
+        }
+    }
+
+    /// Installs the `putchar` implementation — the only thing a client
+    /// must provide for full formatted output.
+    pub fn set_putchar(&self, f: impl FnMut(u8) + Send + 'static) {
+        *self.putchar.lock() = Some(Box::new(f));
+    }
+
+    /// Overrides `puts` wholesale.  Documented dependency inversion: once
+    /// overridden, `printf` goes through the new `puts` and the installed
+    /// `putchar` is no longer consulted by it.
+    pub fn set_puts(&self, f: impl FnMut(&str) + Send + 'static) {
+        *self.puts.lock() = Some(Box::new(f));
+    }
+
+    /// Writes one character via the installed `putchar`.
+    pub fn putchar(&self, c: u8) {
+        if let Some(f) = self.putchar.lock().as_mut() {
+            f(c);
+        }
+    }
+
+    /// Writes a string: through the `puts` override if present, else
+    /// character by character through `putchar`.
+    ///
+    /// Note: unlike C `puts`, no trailing newline is appended — this is
+    /// the kit's internal `puts` used as `printf`'s sink.
+    pub fn puts(&self, s: &str) {
+        let mut slot = self.puts.lock();
+        if let Some(f) = slot.as_mut() {
+            f(s);
+        } else {
+            drop(slot);
+            for b in s.bytes() {
+                self.putchar(b);
+            }
+        }
+    }
+
+    /// Formatted output through the chain.
+    pub fn printf(&self, fmt: &str, args: &[Arg]) {
+        self.puts(&vformat(fmt, args));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fargs;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[test]
+    fn printf_works_with_only_putchar() {
+        // The paper's headline property.
+        let out = Arc::new(StdMutex::new(Vec::new()));
+        let o2 = Arc::clone(&out);
+        let con = MinConsole::new();
+        con.set_putchar(move |c| o2.lock().unwrap().push(c));
+        con.printf("Hello %s #%d\n", fargs!["World", 1]);
+        assert_eq!(out.lock().unwrap().as_slice(), b"Hello World #1\n");
+    }
+
+    #[test]
+    fn overriding_puts_changes_printf() {
+        // "Overriding one function ... affect[s] the behavior of
+        // another" — by design.
+        let chars = Arc::new(StdMutex::new(Vec::<u8>::new()));
+        let lines = Arc::new(StdMutex::new(Vec::<String>::new()));
+        let con = MinConsole::new();
+        let c2 = Arc::clone(&chars);
+        con.set_putchar(move |c| c2.lock().unwrap().push(c));
+        let l2 = Arc::clone(&lines);
+        con.set_puts(move |s| l2.lock().unwrap().push(s.to_string()));
+        con.printf("x=%d", fargs![7]);
+        assert_eq!(lines.lock().unwrap().as_slice(), ["x=7"]);
+        // putchar was bypassed entirely.
+        assert!(chars.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn no_sink_discards_silently() {
+        let con = MinConsole::new();
+        con.printf("into the void %d", fargs![0]);
+    }
+}

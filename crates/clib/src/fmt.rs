@@ -1,0 +1,260 @@
+//! A freestanding `printf`-style formatter.
+//!
+//! The minimal C library's formatted output supports the classic subset —
+//! `%d %i %u %x %X %o %c %s %p %%` with `-`, `0`, width and precision —
+//! and deliberately nothing locale- or floating-point-related (paper
+//! §3.4: "locales and floating-point are not supported").
+
+/// One vararg.
+#[derive(Clone, Debug)]
+pub enum Arg {
+    /// Signed integer (`%d`, `%i`).
+    Int(i64),
+    /// Unsigned integer (`%u`, `%x`, `%o`).
+    Uint(u64),
+    /// String (`%s`).
+    Str(String),
+    /// Character (`%c`).
+    Char(char),
+    /// Pointer (`%p`).
+    Ptr(u64),
+}
+
+impl From<i32> for Arg {
+    fn from(v: i32) -> Arg {
+        Arg::Int(v.into())
+    }
+}
+impl From<i64> for Arg {
+    fn from(v: i64) -> Arg {
+        Arg::Int(v)
+    }
+}
+impl From<u32> for Arg {
+    fn from(v: u32) -> Arg {
+        Arg::Uint(v.into())
+    }
+}
+impl From<u64> for Arg {
+    fn from(v: u64) -> Arg {
+        Arg::Uint(v)
+    }
+}
+impl From<usize> for Arg {
+    fn from(v: usize) -> Arg {
+        Arg::Uint(v as u64)
+    }
+}
+impl From<&str> for Arg {
+    fn from(v: &str) -> Arg {
+        Arg::Str(v.to_string())
+    }
+}
+impl From<String> for Arg {
+    fn from(v: String) -> Arg {
+        Arg::Str(v)
+    }
+}
+impl From<char> for Arg {
+    fn from(v: char) -> Arg {
+        Arg::Char(v)
+    }
+}
+
+/// Formats `fmt` with `args`, printf style.
+///
+/// Unknown conversions are emitted literally; missing arguments format as
+/// `<noarg>` (a kernel printf must never crash on a bad format string).
+pub fn vformat(fmt: &str, args: &[Arg]) -> String {
+    let mut out = String::new();
+    let mut chars = fmt.chars().peekable();
+    let mut argi = 0;
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        // Flags.
+        let mut left = false;
+        let mut zero = false;
+        loop {
+            match chars.peek() {
+                Some('-') => {
+                    left = true;
+                    chars.next();
+                }
+                Some('0') => {
+                    zero = true;
+                    chars.next();
+                }
+                _ => break,
+            }
+        }
+        // Width.
+        let mut width = 0usize;
+        while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+            width = width * 10 + d as usize;
+            chars.next();
+        }
+        // Precision.
+        let mut precision: Option<usize> = None;
+        if chars.peek() == Some(&'.') {
+            chars.next();
+            let mut p = 0usize;
+            while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                p = p * 10 + d as usize;
+                chars.next();
+            }
+            precision = Some(p);
+        }
+        // Length modifiers are accepted and ignored (l, ll, z, h).
+        while matches!(chars.peek(), Some('l' | 'z' | 'h')) {
+            chars.next();
+        }
+        let Some(conv) = chars.next() else {
+            out.push('%');
+            break;
+        };
+        if conv == '%' {
+            out.push('%');
+            continue;
+        }
+        let arg = args.get(argi).cloned();
+        argi += 1;
+        let body = match (conv, arg) {
+            (_, None) => "<noarg>".to_string(),
+            ('d' | 'i', Some(a)) => match a {
+                Arg::Int(v) => v.to_string(),
+                Arg::Uint(v) => v.to_string(),
+                other => bad(other),
+            },
+            ('u', Some(a)) => match a {
+                Arg::Uint(v) => v.to_string(),
+                Arg::Int(v) => (v as u64).to_string(),
+                other => bad(other),
+            },
+            ('x', Some(a)) => match a {
+                Arg::Uint(v) => format!("{v:x}"),
+                Arg::Int(v) => format!("{:x}", v as u64),
+                Arg::Ptr(v) => format!("{v:x}"),
+                other => bad(other),
+            },
+            ('X', Some(a)) => match a {
+                Arg::Uint(v) => format!("{v:X}"),
+                Arg::Int(v) => format!("{:X}", v as u64),
+                other => bad(other),
+            },
+            ('o', Some(a)) => match a {
+                Arg::Uint(v) => format!("{v:o}"),
+                Arg::Int(v) => format!("{:o}", v as u64),
+                other => bad(other),
+            },
+            ('c', Some(Arg::Char(v))) => v.to_string(),
+            ('c', Some(Arg::Int(v))) => char::from_u32(v as u32).unwrap_or('?').to_string(),
+            ('s', Some(Arg::Str(v))) => match precision {
+                Some(p) => v.chars().take(p).collect(),
+                None => v,
+            },
+            ('p', Some(Arg::Ptr(v))) => format!("0x{v:08x}"),
+            ('p', Some(Arg::Uint(v))) => format!("0x{v:08x}"),
+            (c, Some(a)) => {
+                argi -= 1; // Unknown conversion consumes nothing.
+                let _ = a;
+                out.push('%');
+                out.push(c);
+                continue;
+            }
+        };
+        // Apply width/padding.
+        if body.len() >= width {
+            out.push_str(&body);
+        } else if left {
+            out.push_str(&body);
+            out.extend(std::iter::repeat_n(' ', width - body.len()));
+        } else if zero && !matches!(conv, 's' | 'c') {
+            // Zero-pad after any sign.
+            if let Some(rest) = body.strip_prefix('-') {
+                out.push('-');
+                out.extend(std::iter::repeat_n('0', width - body.len()));
+                out.push_str(rest);
+            } else {
+                out.extend(std::iter::repeat_n('0', width - body.len()));
+                out.push_str(&body);
+            }
+        } else {
+            out.extend(std::iter::repeat_n(' ', width - body.len()));
+            out.push_str(&body);
+        }
+    }
+    out
+}
+
+fn bad(a: Arg) -> String {
+    format!("<badarg:{a:?}>")
+}
+
+/// Builds an `&[Arg]` from mixed values: `fargs![1, "x", 0xffu32]`.
+#[macro_export]
+macro_rules! fargs {
+    ($($v:expr),* $(,)?) => {
+        &[$($crate::fmt::Arg::from($v)),*][..]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_conversions() {
+        assert_eq!(vformat("%d + %d = %d", fargs![1, 2, 3]), "1 + 2 = 3");
+        assert_eq!(vformat("%u", fargs![42u32]), "42");
+        assert_eq!(vformat("%x", fargs![255u32]), "ff");
+        assert_eq!(vformat("%X", fargs![255u32]), "FF");
+        assert_eq!(vformat("%o", fargs![8u32]), "10");
+        assert_eq!(vformat("%c%c", fargs!['h', 'i']), "hi");
+        assert_eq!(vformat("%s World", fargs!["Hello"]), "Hello World");
+        assert_eq!(vformat("100%%", fargs![]), "100%");
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(vformat("%d", fargs![-42]), "-42");
+        assert_eq!(vformat("%05d", fargs![-42]), "-0042");
+    }
+
+    #[test]
+    fn width_and_padding() {
+        assert_eq!(vformat("[%5d]", fargs![42]), "[   42]");
+        assert_eq!(vformat("[%-5d]", fargs![42]), "[42   ]");
+        assert_eq!(vformat("[%05d]", fargs![42]), "[00042]");
+        assert_eq!(vformat("[%8x]", fargs![0xABu32]), "[      ab]");
+        assert_eq!(vformat("[%08x]", fargs![0xABu32]), "[000000ab]");
+        assert_eq!(vformat("[%-8s]", fargs!["ok"]), "[ok      ]");
+    }
+
+    #[test]
+    fn precision_truncates_strings() {
+        assert_eq!(vformat("%.3s", fargs!["abcdef"]), "abc");
+    }
+
+    #[test]
+    fn pointer_format() {
+        assert_eq!(vformat("%p", &[Arg::Ptr(0x1000)]), "0x00001000");
+    }
+
+    #[test]
+    fn length_modifiers_ignored() {
+        assert_eq!(vformat("%lu %lld %zu", fargs![1u64, 2i64, 3usize]), "1 2 3");
+    }
+
+    #[test]
+    fn missing_args_do_not_crash() {
+        assert_eq!(vformat("%d %d", fargs![1]), "1 <noarg>");
+    }
+
+    #[test]
+    fn unknown_conversion_is_literal() {
+        assert_eq!(vformat("%q", fargs![1]), "%q");
+    }
+}

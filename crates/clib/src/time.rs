@@ -1,0 +1,123 @@
+//! Time facilities: `gettimeofday` and the `getrusage` the ttcp example
+//! needed.
+//!
+//! Paper §5: "Since ttcp relies on the times reported by `getrusage` for
+//! its timing, we implemented a simple `getrusage` based on the timers
+//! kept by the FreeBSD-derived networking code."  The clock *source* is a
+//! pluggable closure, so any component that keeps time (the network
+//! stack's timer wheel, the machine clock) can back it.
+
+use parking_lot::Mutex;
+
+/// Microsecond-resolution time value (`struct timeval`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimeVal {
+    /// Seconds.
+    pub sec: u64,
+    /// Microseconds (0..1_000_000).
+    pub usec: u32,
+}
+
+impl TimeVal {
+    /// Builds from nanoseconds.
+    pub fn from_ns(ns: u64) -> TimeVal {
+        TimeVal {
+            sec: ns / 1_000_000_000,
+            usec: ((ns % 1_000_000_000) / 1_000) as u32,
+        }
+    }
+
+    /// Converts to nanoseconds.
+    pub fn as_ns(&self) -> u64 {
+        self.sec * 1_000_000_000 + u64::from(self.usec) * 1_000
+    }
+
+    /// Difference in seconds as a float (what `ttcp` computes).
+    pub fn seconds_since(&self, earlier: &TimeVal) -> f64 {
+        (self.as_ns() as f64 - earlier.as_ns() as f64) / 1e9
+    }
+}
+
+/// Resource usage (`getrusage`): just the times `ttcp` consumes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RUsage {
+    /// User CPU time.
+    pub utime: TimeVal,
+    /// System CPU time.
+    pub stime: TimeVal,
+}
+
+type ClockFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
+/// The pluggable clock.
+pub struct Clock {
+    source: Mutex<ClockFn>,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock {
+    /// A clock stuck at zero until a source is installed.
+    pub fn new() -> Clock {
+        Clock {
+            source: Mutex::new(Box::new(|| 0)),
+        }
+    }
+
+    /// Installs the nanosecond source (e.g. `machine.cpu_now`).
+    pub fn set_source(&self, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        *self.source.lock() = Box::new(f);
+    }
+
+    /// `gettimeofday(2)`.
+    pub fn gettimeofday(&self) -> TimeVal {
+        TimeVal::from_ns((self.source.lock())())
+    }
+
+    /// `getrusage(2)` — the minimal version the OSKit examples built: all
+    /// CPU time is reported as system time, measured by the same source.
+    pub fn getrusage(&self) -> RUsage {
+        RUsage {
+            utime: TimeVal::default(),
+            stime: self.gettimeofday(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn timeval_conversion() {
+        let t = TimeVal::from_ns(1_234_567_890);
+        assert_eq!(t.sec, 1);
+        assert_eq!(t.usec, 234_567);
+        assert_eq!(t.as_ns(), 1_234_567_000); // ns below µs truncated.
+    }
+
+    #[test]
+    fn seconds_since() {
+        let a = TimeVal::from_ns(1_000_000_000);
+        let b = TimeVal::from_ns(3_500_000_000);
+        assert!((b.seconds_since(&a) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_source_is_pluggable() {
+        let clock = Clock::new();
+        assert_eq!(clock.gettimeofday(), TimeVal::default());
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        clock.set_source(move || t2.load(Ordering::SeqCst));
+        t.store(5_000_000_000, Ordering::SeqCst);
+        assert_eq!(clock.gettimeofday().sec, 5);
+        assert_eq!(clock.getrusage().stime.sec, 5);
+    }
+}

@@ -1,0 +1,202 @@
+//! The OSKit error space.
+//!
+//! OSKit COM methods return `oskit_error_t`, a 32-bit code whose values
+//! combine COM `HRESULT`-style errors (`OSKIT_E_NOINTERFACE`, ...) with the
+//! POSIX errno space so that encapsulated BSD/Linux code can pass its native
+//! errors through unchanged.  This module reproduces that space as a Rust
+//! enum with the conventional numeric codes preserved.
+
+use core::fmt;
+
+/// Result type used by every OSKit component interface.
+pub type Result<T> = core::result::Result<T, Error>;
+
+macro_rules! errors {
+    ($( $(#[$doc:meta])* $name:ident = $code:expr, $text:expr; )+) => {
+        /// An OSKit error code.
+        ///
+        /// The numeric values of the POSIX members match the traditional BSD
+        /// errno assignments; the COM members use the `0x8000_0000` facility
+        /// space like the original `OSKIT_E_*` constants.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+        #[non_exhaustive]
+        pub enum Error {
+            $( $(#[$doc])* $name, )+
+        }
+
+        impl Error {
+            /// Returns the numeric `oskit_error_t` value.
+            pub fn code(self) -> i32 {
+                match self {
+                    $( Error::$name => $code, )+
+                }
+            }
+
+            /// Looks an error up by its numeric code.
+            pub fn from_code(code: i32) -> Option<Error> {
+                $(
+                    if code == $code {
+                        return Some(Error::$name);
+                    }
+                )+
+                None
+            }
+
+            /// Returns the conventional short description.
+            pub fn text(self) -> &'static str {
+                match self {
+                    $( Error::$name => $text, )+
+                }
+            }
+        }
+    };
+}
+
+errors! {
+    /// Object does not support the requested interface (`OSKIT_E_NOINTERFACE`).
+    NoInterface = 0x8000_4002u32 as i32, "no such interface";
+    /// Method is not implemented (`OSKIT_E_NOTIMPL`).
+    NotImpl = 0x8000_4001u32 as i32, "not implemented";
+    /// Unspecified failure (`OSKIT_E_FAIL`).
+    Fail = 0x8000_4005u32 as i32, "unspecified error";
+    /// Operation not permitted (`EPERM`).
+    Perm = 1, "operation not permitted";
+    /// No such file or directory (`ENOENT`).
+    NoEnt = 2, "no such file or directory";
+    /// No such process (`ESRCH`).
+    Srch = 3, "no such process";
+    /// Interrupted system call (`EINTR`).
+    Intr = 4, "interrupted call";
+    /// Input/output error (`EIO`).
+    Io = 5, "input/output error";
+    /// Device not configured (`ENXIO`).
+    NxIo = 6, "device not configured";
+    /// Bad file descriptor (`EBADF`).
+    BadF = 9, "bad file descriptor";
+    /// Resource temporarily unavailable (`EAGAIN`).
+    Again = 11, "resource temporarily unavailable";
+    /// Cannot allocate memory (`ENOMEM`).
+    NoMem = 12, "cannot allocate memory";
+    /// Permission denied (`EACCES`).
+    Acces = 13, "permission denied";
+    /// Bad address (`EFAULT`).
+    Fault = 14, "bad address";
+    /// Device busy (`EBUSY`).
+    Busy = 16, "device busy";
+    /// File exists (`EEXIST`).
+    Exist = 17, "file exists";
+    /// Cross-device link (`EXDEV`).
+    XDev = 18, "cross-device link";
+    /// Operation not supported by device (`ENODEV`).
+    NoDev = 19, "operation not supported by device";
+    /// Not a directory (`ENOTDIR`).
+    NotDir = 20, "not a directory";
+    /// Is a directory (`EISDIR`).
+    IsDir = 21, "is a directory";
+    /// Invalid argument (`EINVAL`).
+    Inval = 22, "invalid argument";
+    /// Too many open files (`EMFILE`).
+    MFile = 24, "too many open files";
+    /// Inappropriate ioctl for device (`ENOTTY`).
+    NoTty = 25, "inappropriate ioctl for device";
+    /// File too large (`EFBIG`).
+    FBig = 27, "file too large";
+    /// No space left on device (`ENOSPC`).
+    NoSpace = 28, "no space left on device";
+    /// Illegal seek (`ESPIPE`).
+    SPipe = 29, "illegal seek";
+    /// Read-only file system (`EROFS`).
+    RoFs = 30, "read-only file system";
+    /// Too many links (`EMLINK`).
+    MLink = 31, "too many links";
+    /// Broken pipe (`EPIPE`).
+    Pipe = 32, "broken pipe";
+    /// Result too large (`ERANGE`).
+    Range = 34, "result too large";
+    /// File name too long (`ENAMETOOLONG`).
+    NameTooLong = 63, "file name too long";
+    /// Directory not empty (`ENOTEMPTY`).
+    NotEmpty = 66, "directory not empty";
+    /// Value too large to be stored (`EOVERFLOW`).
+    Overflow = 84, "value too large";
+    /// Socket operation on non-socket (`ENOTSOCK`).
+    NotSock = 38, "socket operation on non-socket";
+    /// Message too long (`EMSGSIZE`).
+    MsgSize = 40, "message too long";
+    /// Protocol not supported (`EPROTONOSUPPORT`).
+    ProtoNoSupport = 43, "protocol not supported";
+    /// Operation not supported (`EOPNOTSUPP`).
+    OpNotSupp = 45, "operation not supported";
+    /// Address family not supported (`EAFNOSUPPORT`).
+    AfNoSupport = 47, "address family not supported";
+    /// Address already in use (`EADDRINUSE`).
+    AddrInUse = 48, "address already in use";
+    /// Cannot assign requested address (`EADDRNOTAVAIL`).
+    AddrNotAvail = 49, "cannot assign requested address";
+    /// Network is unreachable (`ENETUNREACH`).
+    NetUnreach = 51, "network is unreachable";
+    /// Connection reset by peer (`ECONNRESET`).
+    ConnReset = 54, "connection reset by peer";
+    /// No buffer space available (`ENOBUFS`).
+    NoBufs = 55, "no buffer space available";
+    /// Socket is already connected (`EISCONN`).
+    IsConn = 56, "socket is already connected";
+    /// Socket is not connected (`ENOTCONN`).
+    NotConn = 57, "socket is not connected";
+    /// Operation timed out (`ETIMEDOUT`).
+    TimedOut = 60, "operation timed out";
+    /// Connection refused (`ECONNREFUSED`).
+    ConnRefused = 61, "connection refused";
+    /// Host is down (`EHOSTDOWN`).
+    HostDown = 64, "host is down";
+    /// No route to host (`EHOSTUNREACH`).
+    HostUnreach = 65, "no route to host";
+    /// Stale handle / object revoked.
+    Stale = 70, "stale handle";
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posix_codes_match_bsd_errno() {
+        assert_eq!(Error::NoEnt.code(), 2);
+        assert_eq!(Error::Inval.code(), 22);
+        assert_eq!(Error::ConnRefused.code(), 61);
+        assert_eq!(Error::AddrInUse.code(), 48);
+    }
+
+    #[test]
+    fn com_codes_use_facility_space() {
+        assert!(Error::NoInterface.code() < 0);
+        assert_eq!(Error::NoInterface.code() as u32, 0x8000_4002);
+    }
+
+    #[test]
+    fn round_trip_from_code() {
+        for e in [
+            Error::NoInterface,
+            Error::NotImpl,
+            Error::NoEnt,
+            Error::TimedOut,
+            Error::Pipe,
+        ] {
+            assert_eq!(Error::from_code(e.code()), Some(e));
+        }
+        assert_eq!(Error::from_code(-12345), None);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Error::NoSpace.to_string(), "no space left on device");
+    }
+}

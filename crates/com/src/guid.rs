@@ -1,0 +1,218 @@
+//! Globally Unique Identifiers for COM interfaces.
+//!
+//! The OSKit identifies every component interface with an algorithmically
+//! generated DCE UUID (paper §4.4.2), so that "new COM interfaces can be
+//! defined independently by anyone with essentially no chance of accidental
+//! collisions".  This module reproduces the binary layout used by COM and
+//! the OSKit's `GUID(...)` macro (paper Figure 2).
+
+use core::fmt;
+
+/// A 128-bit DCE Universally Unique Identifier in COM layout.
+///
+/// The layout matches the C `struct guid` used by the OSKit: one 32-bit
+/// word, two 16-bit words, and eight bytes.  The textual form is the usual
+/// `xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Guid {
+    /// First 32 bits (time-low in DCE terms).
+    pub data1: u32,
+    /// Next 16 bits (time-mid).
+    pub data2: u16,
+    /// Next 16 bits (time-high-and-version).
+    pub data3: u16,
+    /// Final 64 bits (clock-seq and node).
+    pub data4: [u8; 8],
+}
+
+impl Guid {
+    /// Creates a GUID from its four components.
+    ///
+    /// Mirrors the OSKit's `GUID(l, w1, w2, b1..b8)` macro so interface
+    /// definitions read like the paper's Figure 2.
+    #[allow(clippy::too_many_arguments)]
+    pub const fn new(
+        data1: u32,
+        data2: u16,
+        data3: u16,
+        b0: u8,
+        b1: u8,
+        b2: u8,
+        b3: u8,
+        b4: u8,
+        b5: u8,
+        b6: u8,
+        b7: u8,
+    ) -> Self {
+        Guid {
+            data1,
+            data2,
+            data3,
+            data4: [b0, b1, b2, b3, b4, b5, b6, b7],
+        }
+    }
+
+    /// The all-zero nil UUID.
+    pub const NIL: Guid = Guid::new(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+
+    /// Serializes the GUID to its 16-byte little-endian COM wire format.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.data1.to_le_bytes());
+        out[4..6].copy_from_slice(&self.data2.to_le_bytes());
+        out[6..8].copy_from_slice(&self.data3.to_le_bytes());
+        out[8..16].copy_from_slice(&self.data4);
+        out
+    }
+
+    /// Deserializes a GUID from its 16-byte little-endian COM wire format.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        Guid {
+            data1: u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            data2: u16::from_le_bytes([bytes[4], bytes[5]]),
+            data3: u16::from_le_bytes([bytes[6], bytes[7]]),
+            data4: [
+                bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14],
+                bytes[15],
+            ],
+        }
+    }
+
+    /// Parses the canonical `xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx` form.
+    ///
+    /// Returns `None` on any malformed input.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.as_bytes();
+        if s.len() != 36 || s[8] != b'-' || s[13] != b'-' || s[18] != b'-' || s[23] != b'-' {
+            return None;
+        }
+        fn hex(b: &[u8]) -> Option<u64> {
+            let mut v = 0u64;
+            for &c in b {
+                let d = (c as char).to_digit(16)?;
+                v = (v << 4) | u64::from(d);
+            }
+            Some(v)
+        }
+        let data1 = hex(&s[0..8])? as u32;
+        let data2 = hex(&s[9..13])? as u16;
+        let data3 = hex(&s[14..18])? as u16;
+        let hi = hex(&s[19..23])? as u16;
+        let lo = hex(&s[24..36])?;
+        let mut data4 = [0u8; 8];
+        data4[0] = (hi >> 8) as u8;
+        data4[1] = hi as u8;
+        for i in 0..6 {
+            data4[2 + i] = (lo >> (40 - 8 * i)) as u8;
+        }
+        Some(Guid {
+            data1,
+            data2,
+            data3,
+            data4,
+        })
+    }
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:08x}-{:04x}-{:04x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            self.data1,
+            self.data2,
+            self.data3,
+            self.data4[0],
+            self.data4[1],
+            self.data4[2],
+            self.data4[3],
+            self.data4[4],
+            self.data4[5],
+            self.data4[6],
+            self.data4[7]
+        )
+    }
+}
+
+impl fmt::Debug for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Guid({self})")
+    }
+}
+
+/// Declares an OSKit interface GUID in the `4aa7dfXX-7c74-11cf-b500-08000953adc2`
+/// family used by the original release (the block-I/O IID from paper
+/// Figure 2 is member `0x81` of this family).
+pub const fn oskit_iid(seq: u32) -> Guid {
+    Guid::new(
+        0x4aa7_df00 | seq,
+        0x7c74,
+        0x11cf,
+        0xb5,
+        0x00,
+        0x08,
+        0x00,
+        0x09,
+        0x53,
+        0xad,
+        0xc2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The IID from paper Figure 2.
+    const BLKIO: Guid = Guid::new(
+        0x4aa7_df81,
+        0x7c74,
+        0x11cf,
+        0xb5,
+        0x00,
+        0x08,
+        0x00,
+        0x09,
+        0x53,
+        0xad,
+        0xc2,
+    );
+
+    #[test]
+    fn display_matches_canonical_form() {
+        assert_eq!(BLKIO.to_string(), "4aa7df81-7c74-11cf-b500-08000953adc2");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let s = BLKIO.to_string();
+        assert_eq!(Guid::parse(&s), Some(BLKIO));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(Guid::parse(""), None);
+        assert_eq!(Guid::parse("4aa7df81-7c74-11cf-b500-08000953adc"), None);
+        assert_eq!(Guid::parse("4aa7df81x7c74-11cf-b500-08000953adc2"), None);
+        assert_eq!(Guid::parse("zaa7df81-7c74-11cf-b500-08000953adc2"), None);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = BLKIO.to_bytes();
+        assert_eq!(Guid::from_bytes(&b), BLKIO);
+        // COM wire format is little-endian in the first three fields.
+        assert_eq!(&b[0..4], &[0x81, 0xdf, 0xa7, 0x4a]);
+    }
+
+    #[test]
+    fn oskit_iid_family() {
+        assert_eq!(oskit_iid(0x81), BLKIO);
+        assert_ne!(oskit_iid(0x82), BLKIO);
+    }
+
+    #[test]
+    fn nil_is_zero() {
+        assert_eq!(Guid::NIL.to_bytes(), [0u8; 16]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Block and buffer I/O interfaces (paper Figure 2 and §4.4.2).
+
+use crate::error::Result;
+use crate::guid::Guid;
+use crate::iunknown::IUnknown;
+use crate::{com_interface_decl, Error};
+use std::sync::Arc;
+
+/// The `blkio` interface identifier from paper Figure 2.
+pub const BLKIO_IID: Guid = Guid::new(
+    0x4aa7_df81,
+    0x7c74,
+    0x11cf,
+    0xb5,
+    0x00,
+    0x08,
+    0x00,
+    0x09,
+    0x53,
+    0xad,
+    0xc2,
+);
+
+/// Absolute block/byte I/O — the OSKit's `oskit_blkio` (paper Figure 2).
+///
+/// "Implemented by each of the OSKit's disk device drivers as well as by
+/// other components."  Offsets are byte offsets; implementations with a
+/// block size greater than one may require offset and length to be
+/// block-aligned.
+pub trait BlkIo: IUnknown {
+    /// Returns the natural block size of the object in bytes.
+    ///
+    /// Reads and writes should be multiples of this size; byte-grained
+    /// objects return 1.
+    fn get_block_size(&self) -> usize;
+
+    /// Reads up to `buf.len()` bytes starting at byte `offset`.
+    ///
+    /// Returns the number of bytes actually read, which is less than
+    /// requested only at end-of-object.
+    fn read(&self, buf: &mut [u8], offset: u64) -> Result<usize>;
+
+    /// Writes `buf` starting at byte `offset`, returning the number of
+    /// bytes actually written.
+    fn write(&self, buf: &[u8], offset: u64) -> Result<usize>;
+
+    /// Returns the current size of the object in bytes.
+    fn get_size(&self) -> Result<u64>;
+
+    /// Resizes the object, if the implementation supports it.
+    ///
+    /// Fixed-size devices (disks, partitions) return [`Error::NotImpl`].
+    fn set_size(&self, new_size: u64) -> Result<()> {
+        let _ = new_size;
+        Err(Error::NotImpl)
+    }
+}
+com_interface_decl!(BlkIo, BLKIO_IID, "oskit_blkio");
+
+/// Buffer I/O: `oskit_bufio`, the extension of [`BlkIo`] described in paper
+/// §4.4.2.
+///
+/// "Adds methods to allow direct pointer-based access to the data stored in
+/// the object in the common case in which this data happens to be in local
+/// memory."  Network packets are passed between drivers and protocol stacks
+/// as `bufio` objects (§4.7.3); mapping succeeds only when the implementor
+/// stores the requested range contiguously, so callers fall back on
+/// [`BlkIo::read`]/[`BlkIo::write`] when [`BufIo::with_map`] fails.
+///
+/// Rust reproduction note: C OSKit `map`/`unmap` hand out raw pointers; we
+/// use scoped closures so the borrow is visible to the compiler, while
+/// preserving the crucial property that a successful map is *zero-copy*.
+pub trait BufIo: BlkIo {
+    /// Calls `f` with a direct reference to bytes `[offset, offset+len)` if
+    /// they are stored contiguously in local memory.
+    ///
+    /// Returns [`Error::NotImpl`] when the range is not mappable (e.g. it
+    /// spans discontiguous mbufs); the caller must then copy via `read`.
+    fn with_map(&self, offset: usize, len: usize, f: &mut dyn FnMut(&[u8])) -> Result<()>;
+
+    /// Mutable counterpart of [`BufIo::with_map`].
+    fn with_map_mut(&self, offset: usize, len: usize, f: &mut dyn FnMut(&mut [u8]))
+        -> Result<()>;
+
+    /// Wires the buffer for DMA, returning a simulated physical address.
+    ///
+    /// Drivers use this before handing buffers to hardware; the default
+    /// declines, forcing a copy into driver-owned storage.
+    fn wire(&self) -> Result<u64> {
+        Err(Error::NotImpl)
+    }
+
+    /// Releases a [`BufIo::wire`] pin.
+    fn unwire(&self) {}
+}
+com_interface_decl!(BufIo, crate::guid::oskit_iid(0x82), "oskit_bufio");
+
+/// A simple heap-backed [`BufIo`], used when packets must be manufactured
+/// from scratch (and by tests).
+pub struct VecBufIo {
+    me: crate::SelfRef<VecBufIo>,
+    data: std::sync::Mutex<Vec<u8>>,
+}
+
+impl VecBufIo {
+    /// Creates a buffer object of `len` zero bytes.
+    pub fn with_len(len: usize) -> Arc<VecBufIo> {
+        Self::from_vec(vec![0; len])
+    }
+
+    /// Creates a buffer object owning `data`.
+    pub fn from_vec(data: Vec<u8>) -> Arc<VecBufIo> {
+        crate::new_com(
+            VecBufIo {
+                me: crate::SelfRef::new(),
+                data: std::sync::Mutex::new(data),
+            },
+            |o| &o.me,
+        )
+    }
+}
+
+impl BlkIo for VecBufIo {
+    fn get_block_size(&self) -> usize {
+        1
+    }
+
+    fn read(&self, buf: &mut [u8], offset: u64) -> Result<usize> {
+        let data = self.data.lock().expect("poisoned");
+        let off = offset as usize;
+        if off >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        Ok(n)
+    }
+
+    fn write(&self, buf: &[u8], offset: u64) -> Result<usize> {
+        let mut data = self.data.lock().expect("poisoned");
+        let off = offset as usize;
+        if off >= data.len() {
+            return Err(Error::Inval);
+        }
+        let n = buf.len().min(data.len() - off);
+        data[off..off + n].copy_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn get_size(&self) -> Result<u64> {
+        Ok(self.data.lock().expect("poisoned").len() as u64)
+    }
+
+    fn set_size(&self, new_size: u64) -> Result<()> {
+        self.data.lock().expect("poisoned").resize(new_size as usize, 0);
+        Ok(())
+    }
+}
+
+impl BufIo for VecBufIo {
+    fn with_map(&self, offset: usize, len: usize, f: &mut dyn FnMut(&[u8])) -> Result<()> {
+        let data = self.data.lock().expect("poisoned");
+        let end = offset.checked_add(len).ok_or(Error::Inval)?;
+        if end > data.len() {
+            return Err(Error::Inval);
+        }
+        f(&data[offset..end]);
+        Ok(())
+    }
+
+    fn with_map_mut(
+        &self,
+        offset: usize,
+        len: usize,
+        f: &mut dyn FnMut(&mut [u8]),
+    ) -> Result<()> {
+        let mut data = self.data.lock().expect("poisoned");
+        let end = offset.checked_add(len).ok_or(Error::Inval)?;
+        if end > data.len() {
+            return Err(Error::Inval);
+        }
+        f(&mut data[offset..end]);
+        Ok(())
+    }
+}
+
+crate::com_object!(VecBufIo, me, [BlkIo, BufIo]);
+
+/// Copies the full contents of a [`BufIo`] into a fresh `Vec`.
+///
+/// Uses the zero-copy map when available, falling back on `read`, exactly
+/// like the driver glue in paper §4.7.3.
+pub fn bufio_to_vec(b: &dyn BufIo) -> Result<Vec<u8>> {
+    let len = b.get_size()? as usize;
+    let mut out = vec![0u8; len];
+    match b.with_map(0, len, &mut |s| out.copy_from_slice(s)) {
+        Ok(()) => Ok(out),
+        Err(Error::NotImpl) => {
+            let n = b.read(&mut out, 0)?;
+            out.truncate(n);
+            Ok(out)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Query;
+
+    #[test]
+    fn vec_bufio_read_write() {
+        let b = VecBufIo::with_len(8);
+        assert_eq!(b.write(&[1, 2, 3], 2).unwrap(), 3);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf, 0).unwrap(), 8);
+        assert_eq!(buf, [0, 0, 1, 2, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn read_past_end_returns_zero() {
+        let b = VecBufIo::with_len(4);
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read(&mut buf, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn short_read_at_end() {
+        let b = VecBufIo::from_vec(vec![9; 10]);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf, 6).unwrap(), 4);
+    }
+
+    #[test]
+    fn map_is_bounds_checked() {
+        let b = VecBufIo::with_len(4);
+        assert_eq!(
+            b.with_map(2, 3, &mut |_| panic!("must not run")).unwrap_err(),
+            Error::Inval
+        );
+        assert_eq!(
+            b.with_map(usize::MAX, 2, &mut |_| ()).unwrap_err(),
+            Error::Inval
+        );
+    }
+
+    #[test]
+    fn blkio_queries_to_bufio() {
+        // Paper §4.4.2: a RAM-backed object supports the extended bufio
+        // interface; a client holding blkio can discover it.
+        let b = VecBufIo::with_len(4);
+        let blk: Arc<dyn BlkIo> = b.query::<dyn BlkIo>().unwrap();
+        let buf = blk.query::<dyn BufIo>().unwrap();
+        buf.with_map(0, 4, &mut |s| assert_eq!(s.len(), 4)).unwrap();
+    }
+
+    #[test]
+    fn bufio_to_vec_uses_map() {
+        let b = VecBufIo::from_vec(vec![5, 6, 7]);
+        assert_eq!(bufio_to_vec(&*b).unwrap(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn set_size_resizes() {
+        let b = VecBufIo::with_len(2);
+        b.set_size(5).unwrap();
+        assert_eq!(b.get_size().unwrap(), 5);
+    }
+}

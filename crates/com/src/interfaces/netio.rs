@@ -1,0 +1,146 @@
+//! Network packet I/O and Ethernet device interfaces (paper §5).
+//!
+//! "When the client OS binds the FreeBSD protocol stack to a Linux device
+//! driver during initialization, these components exchange callback
+//! functions which are subsequently used to pass packets back and forth
+//! asynchronously. ... Packets passed through these callbacks are
+//! represented as references to opaque objects implementing the
+//! `oskit_bufio` COM interface."
+
+use crate::error::Result;
+use crate::interfaces::blkio::BufIo;
+use crate::iunknown::IUnknown;
+use crate::{com_interface_decl, oskit_iid};
+use std::sync::Arc;
+
+/// An Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct EtherAddr(pub [u8; 6]);
+
+impl EtherAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EtherAddr = EtherAddr([0xff; 6]);
+
+    /// Returns true for broadcast or multicast addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 1 != 0
+    }
+}
+
+impl core::fmt::Display for EtherAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let a = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            a[0], a[1], a[2], a[3], a[4], a[5]
+        )
+    }
+}
+
+/// Asynchronous packet hand-off: the OSKit's `oskit_netio`.
+///
+/// A `netio` object is one *direction* of a packet channel.  A protocol
+/// stack passes its receive `netio` to [`EtherDev::open`] and gets back the
+/// device's transmit `netio`; thereafter each side pushes packets into the
+/// other (paper §5, Figure 3).
+pub trait NetIo: IUnknown {
+    /// Delivers one packet.
+    ///
+    /// The packet is an opaque [`BufIo`]; the receiver may query it, map it
+    /// for zero-copy access, or fall back to copying reads (§4.7.3).
+    fn push(&self, pkt: Arc<dyn BufIo>) -> Result<()>;
+
+    /// Allocates a packet buffer suited to this channel.
+    ///
+    /// Senders that build packets from scratch can use this so the producer
+    /// allocates in the representation the consumer prefers, enabling the
+    /// zero-copy fast path.
+    fn alloc_bufio(&self, size: usize) -> Result<Arc<dyn BufIo>> {
+        Ok(crate::interfaces::blkio::VecBufIo::with_len(size))
+    }
+}
+com_interface_decl!(NetIo, oskit_iid(0x83), "oskit_netio");
+
+/// An Ethernet device: the OSKit's `oskit_etherdev`.
+///
+/// Returned from device probing (`fdev`); opening the device exchanges the
+/// netio callbacks.
+pub trait EtherDev: IUnknown {
+    /// Opens the device: registers `rx` as the callback for received
+    /// packets and returns the netio on which to transmit.
+    fn open(&self, rx: Arc<dyn NetIo>) -> Result<Arc<dyn NetIo>>;
+
+    /// Returns the station MAC address.
+    fn get_addr(&self) -> EtherAddr;
+
+    /// Returns a human-readable device description ("driver info").
+    fn describe(&self) -> String;
+}
+com_interface_decl!(EtherDev, oskit_iid(0x84), "oskit_etherdev");
+
+/// A [`NetIo`] built from a closure, for clients that just want a callback.
+pub struct FnNetIo {
+    me: crate::SelfRef<FnNetIo>,
+    f: Box<dyn Fn(Arc<dyn BufIo>) -> Result<()> + Send + Sync>,
+}
+
+impl FnNetIo {
+    /// Wraps `f` as a netio object.
+    pub fn new(f: impl Fn(Arc<dyn BufIo>) -> Result<()> + Send + Sync + 'static) -> Arc<FnNetIo> {
+        crate::new_com(
+            FnNetIo {
+                me: crate::SelfRef::new(),
+                f: Box::new(f),
+            },
+            |o| &o.me,
+        )
+    }
+}
+
+impl NetIo for FnNetIo {
+    fn push(&self, pkt: Arc<dyn BufIo>) -> Result<()> {
+        (self.f)(pkt)
+    }
+}
+
+crate::com_object!(FnNetIo, me, [NetIo]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interfaces::blkio::VecBufIo;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ether_addr_display() {
+        let a = EtherAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(a.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn broadcast_is_multicast() {
+        assert!(EtherAddr::BROADCAST.is_multicast());
+        assert!(!EtherAddr([2, 0, 0, 0, 0, 0]).is_multicast());
+        assert!(EtherAddr([1, 0, 0, 0, 0, 0]).is_multicast());
+    }
+
+    #[test]
+    fn fn_netio_invokes_callback() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let nio = FnNetIo::new(|pkt| {
+            HITS.fetch_add(pkt.get_size().unwrap() as usize, Ordering::SeqCst);
+            Ok(())
+        });
+        nio.push(VecBufIo::with_len(7)).unwrap();
+        nio.push(VecBufIo::with_len(3)).unwrap();
+        assert_eq!(HITS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn default_alloc_bufio_is_mappable() {
+        let nio = FnNetIo::new(|_| Ok(()));
+        let b = nio.alloc_bufio(64).unwrap();
+        b.with_map(0, 64, &mut |s| assert_eq!(s.len(), 64)).unwrap();
+    }
+}

@@ -1,0 +1,154 @@
+//! Socket COM interfaces (paper §5).
+//!
+//! "The FreeBSD networking stack is initialized with
+//! `oskit_freebsd_net_init` which returns a 'socket factory' interface used
+//! to create new sockets; `posix_set_socketcreator` is then called to
+//! register that socket factory with the C library so that its `socket`
+//! function will work."  Because the C library only depends on these
+//! interfaces, "this C library code can be used with any protocol stack
+//! that provides these socket and socket factory interfaces."
+
+use crate::error::Result;
+use crate::iunknown::IUnknown;
+use crate::{com_interface_decl, oskit_iid};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Socket address (AF_INET only; the OSKit era predates widespread IPv6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SockAddr {
+    /// IPv4 address.
+    pub addr: Ipv4Addr,
+    /// Port in host byte order.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Builds an address.
+    pub fn new(addr: Ipv4Addr, port: u16) -> Self {
+        SockAddr { addr, port }
+    }
+
+    /// `0.0.0.0:port` — the wildcard bind address.
+    pub fn any(port: u16) -> Self {
+        SockAddr::new(Ipv4Addr::UNSPECIFIED, port)
+    }
+}
+
+impl core::fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// Address domain for [`SocketFactory::create`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Domain {
+    /// `AF_INET`.
+    Inet,
+}
+
+/// Socket type for [`SocketFactory::create`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SockType {
+    /// `SOCK_STREAM` (TCP).
+    Stream,
+    /// `SOCK_DGRAM` (UDP).
+    Dgram,
+}
+
+/// Options understood by [`Socket::setsockopt`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SockOpt {
+    /// `SO_REUSEADDR`.
+    ReuseAddr(bool),
+    /// `TCP_NODELAY` — disable the Nagle algorithm.
+    NoDelay(bool),
+    /// `SO_SNDBUF` — send buffer high-water mark in bytes.
+    SndBuf(usize),
+    /// `SO_RCVBUF` — receive buffer high-water mark in bytes.
+    RcvBuf(usize),
+    /// `SO_LINGER` off/on with timeout in seconds.
+    Linger(Option<u32>),
+}
+
+/// Which directions [`Socket::shutdown`] closes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Shutdown {
+    /// Further receives disallowed.
+    Read,
+    /// Further sends disallowed (sends FIN on TCP).
+    Write,
+    /// Both directions.
+    Both,
+}
+
+/// A communication endpoint: the OSKit's `oskit_socket`.
+///
+/// Blocking calls block at *process level* (on osenv sleep records); they
+/// never spin at interrupt level.
+pub trait Socket: IUnknown {
+    /// Binds to a local address.
+    fn bind(&self, addr: SockAddr) -> Result<()>;
+
+    /// Initiates (TCP) or fixes (UDP) a connection to `addr`.  Blocks
+    /// until established or refused for stream sockets.
+    fn connect(&self, addr: SockAddr) -> Result<()>;
+
+    /// Makes a stream socket passive with the given backlog.
+    fn listen(&self, backlog: usize) -> Result<()>;
+
+    /// Accepts one connection, blocking until available.  Returns the new
+    /// socket and the peer address.
+    fn accept(&self) -> Result<(Arc<dyn Socket>, SockAddr)>;
+
+    /// Sends data on a connected socket, blocking while the send buffer is
+    /// full.  Returns the number of bytes queued.
+    fn send(&self, buf: &[u8]) -> Result<usize>;
+
+    /// Receives data, blocking until at least one byte, end-of-stream, or
+    /// error.  Returns 0 at end-of-stream.
+    fn recv(&self, buf: &mut [u8]) -> Result<usize>;
+
+    /// Sends a datagram to `addr` (datagram sockets).
+    fn sendto(&self, buf: &[u8], addr: SockAddr) -> Result<usize>;
+
+    /// Receives a datagram and its source address (datagram sockets).
+    fn recvfrom(&self, buf: &mut [u8]) -> Result<(usize, SockAddr)>;
+
+    /// Returns the local address.
+    fn getsockname(&self) -> Result<SockAddr>;
+
+    /// Returns the peer address of a connected socket.
+    fn getpeername(&self) -> Result<SockAddr>;
+
+    /// Sets a socket option.
+    fn setsockopt(&self, opt: SockOpt) -> Result<()>;
+
+    /// Closes one or both directions.
+    fn shutdown(&self, how: Shutdown) -> Result<()>;
+}
+com_interface_decl!(Socket, oskit_iid(0x8b), "oskit_socket");
+
+/// Creates sockets: the OSKit's `oskit_socket_factory`.
+pub trait SocketFactory: IUnknown {
+    /// Creates an unbound socket.
+    fn create(&self, domain: Domain, ty: SockType) -> Result<Arc<dyn Socket>>;
+}
+com_interface_decl!(SocketFactory, oskit_iid(0x8c), "oskit_socket_factory");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sockaddr_display() {
+        let a = SockAddr::new(Ipv4Addr::new(10, 0, 0, 1), 5001);
+        assert_eq!(a.to_string(), "10.0.0.1:5001");
+    }
+
+    #[test]
+    fn any_is_wildcard() {
+        assert_eq!(SockAddr::any(80).addr, Ipv4Addr::UNSPECIFIED);
+    }
+}

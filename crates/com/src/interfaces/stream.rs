@@ -1,0 +1,132 @@
+//! Byte-stream and character-device interfaces.
+//!
+//! The OSKit's `oskit_stream` models sequential byte I/O (consoles, serial
+//! ports, TTYs, pipes, open files); `oskit_asyncio` adds readiness polling
+//! so clients can implement `select`.
+
+use crate::error::Result;
+use crate::iunknown::IUnknown;
+use crate::{com_interface_decl, oskit_iid};
+
+/// Sequential byte I/O: the OSKit's `oskit_stream`.
+pub trait Stream: IUnknown {
+    /// Reads up to `buf.len()` bytes, blocking at process level until at
+    /// least one byte (or end-of-stream) is available.
+    ///
+    /// Returns 0 only at end-of-stream.
+    fn read(&self, buf: &mut [u8]) -> Result<usize>;
+
+    /// Writes `buf`, returning the number of bytes accepted.
+    fn write(&self, buf: &[u8]) -> Result<usize>;
+}
+com_interface_decl!(Stream, oskit_iid(0x85), "oskit_stream");
+
+/// Readiness conditions for [`AsyncIo::poll`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IoReady {
+    /// A read would not block.
+    pub readable: bool,
+    /// A write would not block.
+    pub writable: bool,
+    /// An exceptional condition is pending.
+    pub exception: bool,
+}
+
+/// Readiness polling: the OSKit's `oskit_asyncio`.
+pub trait AsyncIo: IUnknown {
+    /// Returns the conditions that currently hold without blocking.
+    fn poll(&self) -> Result<IoReady>;
+}
+com_interface_decl!(AsyncIo, oskit_iid(0x86), "oskit_asyncio");
+
+/// A character device (console, serial port): the OSKit's `oskit_ttydev`
+/// reduced to its paper-visible essentials.
+pub trait CharDev: Stream {
+    /// Reads one byte, blocking until available.
+    fn getchar(&self) -> Result<u8> {
+        let mut b = [0u8];
+        loop {
+            if self.read(&mut b)? == 1 {
+                return Ok(b[0]);
+            }
+        }
+    }
+
+    /// Writes one byte.
+    fn putchar(&self, c: u8) -> Result<()> {
+        self.write(&[c]).map(|_| ())
+    }
+}
+com_interface_decl!(CharDev, oskit_iid(0x87), "oskit_chardev");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{com_object, new_com, Query, SelfRef};
+    use std::sync::Mutex;
+
+    /// A loopback stream: bytes written become readable.
+    struct Loop {
+        me: SelfRef<Loop>,
+        buf: Mutex<Vec<u8>>,
+    }
+
+    impl Stream for Loop {
+        fn read(&self, buf: &mut [u8]) -> Result<usize> {
+            let mut q = self.buf.lock().unwrap();
+            let n = buf.len().min(q.len());
+            for (dst, src) in buf.iter_mut().zip(q.drain(..n)) {
+                *dst = src;
+            }
+            Ok(n)
+        }
+        fn write(&self, buf: &[u8]) -> Result<usize> {
+            self.buf.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+    }
+    impl CharDev for Loop {}
+    impl AsyncIo for Loop {
+        fn poll(&self) -> Result<IoReady> {
+            Ok(IoReady {
+                readable: !self.buf.lock().unwrap().is_empty(),
+                writable: true,
+                exception: false,
+            })
+        }
+    }
+    com_object!(Loop, me, [Stream, CharDev, AsyncIo]);
+
+    fn mk() -> std::sync::Arc<Loop> {
+        new_com(
+            Loop {
+                me: SelfRef::new(),
+                buf: Mutex::new(Vec::new()),
+            },
+            |o| &o.me,
+        )
+    }
+
+    #[test]
+    fn putchar_getchar_round_trip() {
+        let l = mk();
+        l.putchar(b'x').unwrap();
+        assert_eq!(l.getchar().unwrap(), b'x');
+    }
+
+    #[test]
+    fn poll_reflects_buffer_state() {
+        let l = mk();
+        assert!(!l.poll().unwrap().readable);
+        l.write(b"hi").unwrap();
+        assert!(l.poll().unwrap().readable);
+    }
+
+    #[test]
+    fn stream_queries_to_asyncio() {
+        let l = mk();
+        let s = l.query::<dyn Stream>().unwrap();
+        let a = s.query::<dyn AsyncIo>().unwrap();
+        assert!(a.poll().unwrap().writable);
+    }
+}

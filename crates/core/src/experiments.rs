@@ -1,0 +1,370 @@
+//! The §5 experiment harness: ttcp (Table 1) and rtcp (Table 2) over the
+//! three system configurations the paper compares.
+//!
+//! "Tables 1 and 2 compare the TCP send and receive bandwidth and latency
+//! for three environments: Linux 2.0.29, FreeBSD 2.1.5, and the OSKit
+//! using the FreeBSD 2.1.5 protocol stack and the Linux 2.0.29 device
+//! drivers."
+//!
+//! Nothing here charges configuration-specific costs: the three setups
+//! run different *code paths*, and the virtual-time deltas fall out of the
+//! copies, crossings and protocol work those paths actually perform (see
+//! DESIGN.md §5).
+
+use oskit_com::interfaces::netio::EtherDev;
+use oskit_com::Query;
+use oskit_freebsd_net::{attach_native_if, ifconfig, open_ether_if, oskit_freebsd_net_init};
+use oskit_linux_dev::linux::inet::LinuxInet;
+use oskit_linux_dev::{LinuxEtherDev, NetDevice};
+use oskit_machine::{Machine, Nic, Sim, WorkSnapshot};
+use oskit_osenv::OsEnv;
+use parking_lot::Mutex;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The three systems of Tables 1 and 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetConfig {
+    /// Monolithic Linux: the Linux-style stack on the Linux driver,
+    /// sharing `sk_buff`s throughout.
+    Linux,
+    /// Monolithic FreeBSD: the BSD stack on a BSD-native driver, sharing
+    /// mbufs throughout.
+    FreeBsd,
+    /// The OSKit: the FreeBSD stack bound to the encapsulated Linux
+    /// driver through COM netio/bufio glue.
+    OsKit,
+}
+
+impl NetConfig {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetConfig::Linux => "Linux",
+            NetConfig::FreeBsd => "FreeBSD",
+            NetConfig::OsKit => "OSKit",
+        }
+    }
+}
+
+const IP_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const IP_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const MASK: Ipv4Addr = Ipv4Addr::new(255, 255, 255, 0);
+
+/// The result of one ttcp run.
+#[derive(Clone, Copy, Debug)]
+pub struct TtcpResult {
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Virtual elapsed time, ns.
+    pub elapsed_ns: u64,
+    /// Throughput in Mbit/s of virtual time.
+    pub mbit_s: f64,
+    /// Sender-machine work counters.
+    pub sender: WorkSnapshot,
+    /// Receiver-machine work counters.
+    pub receiver: WorkSnapshot,
+}
+
+/// The result of one rtcp run.
+#[derive(Clone, Copy, Debug)]
+pub struct RtcpResult {
+    /// Round trips performed.
+    pub round_trips: u64,
+    /// Mean round-trip time in microseconds of virtual time.
+    pub rtt_us: f64,
+    /// Client-machine work counters.
+    pub client: WorkSnapshot,
+    /// Server-machine work counters.
+    pub server: WorkSnapshot,
+}
+
+/// An abstract connected byte pipe: lets one driver routine run over all
+/// three stacks' socket flavors.
+trait Pipe: Send + Sync {
+    fn send(&self, buf: &[u8]) -> usize;
+    fn recv(&self, buf: &mut [u8]) -> usize;
+    fn close(&self);
+}
+
+struct BsdPipe(Arc<oskit_freebsd_net::TcpSock>);
+impl Pipe for BsdPipe {
+    fn send(&self, buf: &[u8]) -> usize {
+        self.0.send(buf).expect("send")
+    }
+    fn recv(&self, buf: &mut [u8]) -> usize {
+        self.0.recv(buf).expect("recv")
+    }
+    fn close(&self) {
+        self.0.close();
+    }
+}
+
+struct LinuxPipe(Arc<oskit_linux_dev::LinuxSock>);
+impl Pipe for LinuxPipe {
+    fn send(&self, buf: &[u8]) -> usize {
+        self.0.send(buf).expect("send")
+    }
+    fn recv(&self, buf: &mut [u8]) -> usize {
+        self.0.recv(buf).expect("recv")
+    }
+    fn close(&self) {
+        self.0.close();
+    }
+}
+
+/// A testbed: two machines wired together with connect/accept hooks.
+struct Testbed {
+    sim: Arc<Sim>,
+    machine_a: Arc<Machine>,
+    machine_b: Arc<Machine>,
+    /// Accepts one connection on port 5001 (runs on a sim thread).
+    accept: Box<dyn FnOnce() -> Box<dyn Pipe> + Send>,
+    /// Connects to 10.0.0.2:5001 (runs on a sim thread).
+    connect: Box<dyn FnOnce() -> Box<dyn Pipe> + Send>,
+    /// Keeps stacks and devices alive for the run (components hold only
+    /// weak back-references, as the real ones hold raw pointers).
+    _keep: Vec<Box<dyn std::any::Any + Send + Sync>>,
+}
+
+fn build(sender_cfg: NetConfig, receiver_cfg: NetConfig) -> Testbed {
+    let sim = Sim::new();
+    sim.set_time_limit(10_000_000_000_000); // 10000 s: full-size runs fit.
+    let ma = Machine::new(&sim, "sender", 1 << 22);
+    let mb = Machine::new(&sim, "receiver", 1 << 22);
+    let na = Nic::new(&ma, [2, 0, 0, 0, 0, 1]);
+    let nb = Nic::new(&mb, [2, 0, 0, 0, 0, 2]);
+    Nic::connect(&na, &nb);
+    let ea = OsEnv::new(&ma);
+    let eb = OsEnv::new(&mb);
+    let mut keep: Vec<Box<dyn std::any::Any + Send + Sync>> = Vec::new();
+
+    // Per-side stack construction.  `server` decides whether this side
+    // accepts (receiver) or connects (sender).
+    let mut make_side = |cfg: NetConfig,
+                         env: &Arc<OsEnv>,
+                         nic: &Arc<Nic>,
+                         ip: Ipv4Addr,
+                         server: bool|
+     -> Box<dyn FnOnce() -> Box<dyn Pipe> + Send> {
+        match cfg {
+            NetConfig::FreeBsd | NetConfig::OsKit => {
+                let (net, _) = oskit_freebsd_net_init(env);
+                if cfg == NetConfig::FreeBsd {
+                    let ifp = attach_native_if(&net, nic);
+                    ifconfig(&ifp, ip, MASK);
+                } else {
+                    let dev = NetDevice::new("eth0", env, Arc::clone(nic));
+                    let com = LinuxEtherDev::new(env, &dev);
+                    let ether: Arc<dyn EtherDev> =
+                        com.query::<dyn EtherDev>().expect("etherdev");
+                    let ifp = open_ether_if(&net, &ether).expect("open");
+                    ifconfig(&ifp, ip, MASK);
+                    keep.push(Box::new((dev, com, ifp)));
+                }
+                let net2 = Arc::clone(&net);
+                keep.push(Box::new(net));
+                if server {
+                    Box::new(move || {
+                        let ls = oskit_freebsd_net::TcpSock::new(&net2);
+                        ls.bind(Ipv4Addr::UNSPECIFIED, 5001).unwrap();
+                        ls.listen(1).unwrap();
+                        let (conn, _) = ls.accept().unwrap();
+                        Box::new(BsdPipe(conn)) as Box<dyn Pipe>
+                    })
+                } else {
+                    Box::new(move || {
+                        let s = oskit_freebsd_net::TcpSock::new(&net2);
+                        s.connect(IP_B, 5001).unwrap();
+                        Box::new(BsdPipe(s)) as Box<dyn Pipe>
+                    })
+                }
+            }
+            NetConfig::Linux => {
+                let dev = NetDevice::new("eth0", env, Arc::clone(nic));
+                let inet = LinuxInet::attach(env, &dev, ip, MASK);
+                let inet2 = Arc::clone(&inet);
+                keep.push(Box::new((dev, inet)));
+                if server {
+                    Box::new(move || {
+                        let ls = inet2.socket();
+                        ls.bind(5001).unwrap();
+                        ls.listen(1).unwrap();
+                        let conn = ls.accept().unwrap();
+                        Box::new(LinuxPipe(conn)) as Box<dyn Pipe>
+                    })
+                } else {
+                    Box::new(move || {
+                        let s = inet2.socket();
+                        s.connect(IP_B, 5001).unwrap();
+                        Box::new(LinuxPipe(s)) as Box<dyn Pipe>
+                    })
+                }
+            }
+        }
+    };
+    let connect = make_side(sender_cfg, &ea, &na, IP_A, false);
+    let accept = make_side(receiver_cfg, &eb, &nb, IP_B, true);
+
+    ma.irq.enable();
+    mb.irq.enable();
+    Testbed {
+        sim,
+        machine_a: ma,
+        machine_b: mb,
+        accept,
+        connect,
+        _keep: keep,
+    }
+}
+
+/// Runs ttcp: `blocks` writes of `block_size` bytes, a → b (paper: 131072
+/// blocks of 4096 bytes).  Both machines run `config`.
+pub fn ttcp_run(config: NetConfig, blocks: usize, block_size: usize) -> TtcpResult {
+    ttcp_run_mixed(config, config, blocks, block_size)
+}
+
+/// Runs ttcp with different systems on each side — how the table's "Send"
+/// and "Receive" rows isolate one path: pair the system under test with a
+/// native-FreeBSD peer on the other side.
+pub fn ttcp_run_mixed(
+    sender: NetConfig,
+    receiver: NetConfig,
+    blocks: usize,
+    block_size: usize,
+) -> TtcpResult {
+    let tb = build(sender, receiver);
+    let total = blocks * block_size;
+    let finish = Arc::new(Mutex::new(0u64));
+    let f2 = Arc::clone(&finish);
+    let mb = Arc::clone(&tb.machine_b);
+    let accept = tb.accept;
+    tb.sim.spawn("ttcp-r", move || {
+        let pipe = accept();
+        let mut buf = vec![0u8; 65536];
+        let mut got = 0usize;
+        loop {
+            let n = pipe.recv(&mut buf);
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        assert_eq!(got, total, "short transfer");
+        *f2.lock() = mb.cpu_now();
+        pipe.close();
+        let mut d = [0u8; 256];
+        while pipe.recv(&mut d) != 0 {}
+    });
+    let connect = tb.connect;
+    tb.sim.spawn("ttcp-t", move || {
+        let pipe = connect();
+        let block = vec![0x55u8; block_size];
+        for _ in 0..blocks {
+            let mut sent = 0;
+            while sent < block.len() {
+                sent += pipe.send(&block[sent..]);
+            }
+        }
+        pipe.close();
+        let mut d = [0u8; 256];
+        while pipe.recv(&mut d) != 0 {}
+    });
+    tb.sim.run();
+    let elapsed = *finish.lock();
+    TtcpResult {
+        bytes: total as u64,
+        elapsed_ns: elapsed,
+        mbit_s: total as f64 * 8.0 / (elapsed as f64 / 1e9) / 1e6,
+        sender: tb.machine_a.meter.snapshot(),
+        receiver: tb.machine_b.meter.snapshot(),
+    }
+}
+
+/// Runs rtcp: `round_trips` one-byte ping-pongs (paper Table 2).
+pub fn rtcp_run(config: NetConfig, round_trips: usize) -> RtcpResult {
+    let tb = build(config, config);
+    let elapsed = Arc::new(Mutex::new(0u64));
+    let accept = tb.accept;
+    tb.sim.spawn("rtcp-server", move || {
+        let pipe = accept();
+        let mut b = [0u8; 1];
+        loop {
+            if pipe.recv(&mut b) == 0 {
+                break;
+            }
+            pipe.send(&b);
+        }
+        pipe.close();
+    });
+    let connect = tb.connect;
+    let ma = Arc::clone(&tb.machine_a);
+    let e2 = Arc::clone(&elapsed);
+    tb.sim.spawn("rtcp-client", move || {
+        let pipe = connect();
+        let start = ma.cpu_now();
+        let mut b = [1u8; 1];
+        for _ in 0..round_trips {
+            pipe.send(&b);
+            assert_eq!(pipe.recv(&mut b), 1);
+        }
+        *e2.lock() = ma.cpu_now() - start;
+        pipe.close();
+        let mut d = [0u8; 16];
+        while pipe.recv(&mut d) != 0 {}
+    });
+    tb.sim.run();
+    let total_ns = *elapsed.lock();
+    RtcpResult {
+        round_trips: round_trips as u64,
+        rtt_us: total_ns as f64 / round_trips as f64 / 1000.0,
+        client: tb.machine_a.meter.snapshot(),
+        server: tb.machine_b.meter.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttcp_shapes_match_the_paper() {
+        // Small runs; the shape assertions are what matter (Table 1).
+        let linux = ttcp_run(NetConfig::Linux, 256, 4096);
+        let bsd = ttcp_run(NetConfig::FreeBsd, 256, 4096);
+        let oskit = ttcp_run(NetConfig::OsKit, 256, 4096);
+        // Everyone actually moves the bytes at a plausible fraction of
+        // the 100 Mbit/s wire.
+        for r in [&linux, &bsd, &oskit] {
+            assert!(r.mbit_s > 20.0, "implausibly slow: {:?}", r);
+            assert!(r.mbit_s < 100.0, "faster than the wire: {:?}", r);
+        }
+        // The OSKit send path pays an extra copy per packet vs FreeBSD.
+        assert!(
+            oskit.sender.bytes_copied > bsd.sender.bytes_copied,
+            "oskit sender should copy more: {} vs {}",
+            oskit.sender.bytes_copied,
+            bsd.sender.bytes_copied
+        );
+        // OSKit throughput does not exceed FreeBSD's.
+        assert!(oskit.mbit_s <= bsd.mbit_s * 1.01);
+    }
+
+    #[test]
+    fn rtcp_shapes_match_the_paper() {
+        let bsd = rtcp_run(NetConfig::FreeBsd, 50);
+        let oskit = rtcp_run(NetConfig::OsKit, 50);
+        // Table 2: "the FreeBSD versus OSKit results indicate that the
+        // OSKit imposes significant overhead ... largely attributable to
+        // the additional glue code."
+        assert!(
+            oskit.rtt_us > bsd.rtt_us,
+            "oskit RTT {} must exceed FreeBSD RTT {}",
+            oskit.rtt_us,
+            bsd.rtt_us
+        );
+        // And the mechanism is crossings, not copies (1-byte payloads).
+        assert!(oskit.client.crossings > 0);
+        assert_eq!(bsd.client.crossings, 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! The "encapsulated donor code": a FreeBSD 2.1.5-style network stack.
+//!
+//! Everything here is written in the donor system's idiom (paper §4.7.1
+//! keeps donor code in its own subtree, `freebsd/src`, mirrored here):
+//! mbuf chains, the BSD kernel malloc with its three properties, the
+//! sleep/wakeup event hash, and the classic `ether_input` → `ip_input` →
+//! `tcp_input`/`udp_input` → sockbuf pipeline.
+
+pub mod ip;
+pub mod malloc;
+pub mod mbuf;
+pub mod net;
+pub mod sleep;
+pub mod socket;
+pub mod stack;
+pub mod tcp;
+pub mod tcp_input;
+pub mod udp;

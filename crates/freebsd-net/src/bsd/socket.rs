@@ -1,0 +1,142 @@
+//! Socket buffers (`struct sockbuf`) — BSD `uipc_socket2.c` in donor
+//! idiom.
+//!
+//! A sockbuf is an mbuf chain with a high-water mark; senders block when
+//! space runs out and receivers block when it is empty, via the
+//! component's sleep/wakeup hash (paper §4.7.6).
+
+use super::mbuf::MbufChain;
+
+/// Default send-buffer high-water mark (BSD's `tcp_sendspace`-era value,
+/// sized up to keep a 100 Mbps pipe full).
+pub const SB_SND_HIWAT: usize = 128 * 1024;
+
+/// Default receive-buffer high-water mark (`tcp_recvspace`).
+pub const SB_RCV_HIWAT: usize = 128 * 1024;
+
+/// A socket buffer.
+pub struct SockBuf {
+    chain: MbufChain,
+    hiwat: usize,
+}
+
+impl SockBuf {
+    /// Creates a buffer with the given high-water mark.
+    pub fn new(hiwat: usize) -> SockBuf {
+        SockBuf {
+            chain: MbufChain::new(),
+            hiwat,
+        }
+    }
+
+    /// `sb_cc`: bytes currently buffered.
+    pub fn cc(&self) -> usize {
+        self.chain.pkt_len()
+    }
+
+    /// `sbspace()`: room before the high-water mark.
+    pub fn space(&self) -> usize {
+        self.hiwat.saturating_sub(self.cc())
+    }
+
+    /// The high-water mark.
+    pub fn hiwat(&self) -> usize {
+        self.hiwat
+    }
+
+    /// Adjusts the high-water mark (`SO_SNDBUF`/`SO_RCVBUF`).
+    pub fn set_hiwat(&mut self, hiwat: usize) {
+        self.hiwat = hiwat.max(2048);
+    }
+
+    /// `sbappend`: queues data (mbufs are linked, not copied).
+    pub fn append(&mut self, chain: MbufChain) {
+        self.chain.m_cat(chain);
+    }
+
+    /// `sbdrop`: discards `n` bytes from the front.
+    pub fn drop_front(&mut self, n: usize) {
+        self.chain.m_adj(n);
+    }
+
+    /// Copies `len` bytes at `off` out of the buffer (for transmission:
+    /// `m_copym` shares storage with the retransmit queue).
+    pub fn copym(&self, off: usize, len: usize) -> MbufChain {
+        self.chain.m_copym(off, len)
+    }
+
+    /// Copies up to `out.len()` bytes from the front into `out` without
+    /// removing them; returns the count.
+    pub fn peek(&self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.cc());
+        self.chain.m_copydata(0, &mut out[..n]);
+        n
+    }
+}
+
+/// TCP sequence-space comparisons (`SEQ_LT` and friends).
+pub mod seq {
+    /// `a < b` in sequence space.
+    pub fn lt(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) < 0
+    }
+
+    /// `a <= b` in sequence space.
+    pub fn leq(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) <= 0
+    }
+
+    /// `a > b` in sequence space.
+    pub fn gt(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) > 0
+    }
+
+    /// `a >= b` in sequence space.
+    pub fn geq(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) >= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_drop_accounting() {
+        let mut sb = SockBuf::new(100);
+        assert_eq!(sb.space(), 100);
+        sb.append(MbufChain::from_slice(&[1u8; 60]));
+        assert_eq!(sb.cc(), 60);
+        assert_eq!(sb.space(), 40);
+        sb.drop_front(25);
+        assert_eq!(sb.cc(), 35);
+        let mut out = [0u8; 35];
+        assert_eq!(sb.peek(&mut out), 35);
+        assert!(out.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn copym_offsets_into_buffered_data() {
+        let mut sb = SockBuf::new(1 << 16);
+        let data: Vec<u8> = (0..5000).map(|i| (i % 256) as u8).collect();
+        sb.append(MbufChain::from_slice(&data));
+        let seg = sb.copym(1000, 1460);
+        assert_eq!(seg.to_vec(), &data[1000..2460]);
+    }
+
+    #[test]
+    fn over_hiwat_space_is_zero() {
+        let mut sb = SockBuf::new(10);
+        sb.append(MbufChain::from_slice(&[0u8; 25]));
+        assert_eq!(sb.space(), 0);
+    }
+
+    #[test]
+    fn seq_arithmetic_wraps() {
+        assert!(seq::lt(0xFFFF_FFF0, 0x10));
+        assert!(seq::gt(0x10, 0xFFFF_FFF0));
+        assert!(seq::leq(5, 5));
+        assert!(seq::geq(5, 5));
+        assert!(!seq::lt(5, 5));
+    }
+}

@@ -1,0 +1,238 @@
+//! The socket factory and socket COM objects (paper §5).
+//!
+//! "The OSKit's C library maps these functions directly to the methods of
+//! the `oskit_socket` COM interface implemented by the FreeBSD networking
+//! component, by associating file descriptors with references to COM
+//! objects."
+
+use crate::bsd::stack::BsdNet;
+use crate::bsd::tcp::TcpSock;
+use crate::bsd::udp::UdpSock;
+use oskit_com::interfaces::socket::{
+    Domain, Shutdown, SockAddr, SockOpt, SockType, Socket, SocketFactory,
+};
+use oskit_com::interfaces::stream::{AsyncIo, IoReady, Stream};
+use oskit_com::{com_object, new_com, Error, Result, SelfRef};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The factory handed back by `oskit_freebsd_net_init`.
+pub struct BsdSocketFactory {
+    me: SelfRef<BsdSocketFactory>,
+    net: Arc<BsdNet>,
+}
+
+impl BsdSocketFactory {
+    /// Wraps a stack instance.
+    pub fn new(net: &Arc<BsdNet>) -> Arc<BsdSocketFactory> {
+        new_com(
+            BsdSocketFactory {
+                me: SelfRef::new(),
+                net: Arc::clone(net),
+            },
+            |o| &o.me,
+        )
+    }
+}
+
+impl SocketFactory for BsdSocketFactory {
+    fn create(&self, domain: Domain, ty: SockType) -> Result<Arc<dyn Socket>> {
+        let Domain::Inet = domain;
+        self.net.env.machine.charge_crossing();
+        Ok(match ty {
+            SockType::Stream => new_com(
+                BsdComSocket {
+                    me: SelfRef::new(),
+                    net: Arc::clone(&self.net),
+                    inner: Inner::Tcp(TcpSock::new(&self.net)),
+                },
+                |o| &o.me,
+            ) as Arc<dyn Socket>,
+            SockType::Dgram => new_com(
+                BsdComSocket {
+                    me: SelfRef::new(),
+                    net: Arc::clone(&self.net),
+                    inner: Inner::Udp(UdpSock::new(&self.net)),
+                },
+                |o| &o.me,
+            ) as Arc<dyn Socket>,
+        })
+    }
+}
+
+com_object!(BsdSocketFactory, me, [SocketFactory]);
+
+enum Inner {
+    Tcp(Arc<TcpSock>),
+    Udp(Arc<UdpSock>),
+}
+
+/// A socket COM object over the BSD socket layer.
+pub struct BsdComSocket {
+    me: SelfRef<BsdComSocket>,
+    net: Arc<BsdNet>,
+    inner: Inner,
+}
+
+impl BsdComSocket {
+    /// Wraps an already-connected TCP socket (for `accept`).
+    fn from_tcp(net: &Arc<BsdNet>, sock: Arc<TcpSock>) -> Arc<BsdComSocket> {
+        new_com(
+            BsdComSocket {
+                me: SelfRef::new(),
+                net: Arc::clone(net),
+                inner: Inner::Tcp(sock),
+            },
+            |o| &o.me,
+        )
+    }
+
+    fn tcp(&self) -> Result<&Arc<TcpSock>> {
+        match &self.inner {
+            Inner::Tcp(t) => Ok(t),
+            Inner::Udp(_) => Err(Error::OpNotSupp),
+        }
+    }
+
+    fn udp(&self) -> Result<&Arc<UdpSock>> {
+        match &self.inner {
+            Inner::Udp(u) => Ok(u),
+            Inner::Tcp(_) => Err(Error::OpNotSupp),
+        }
+    }
+}
+
+impl Socket for BsdComSocket {
+    fn bind(&self, addr: SockAddr) -> Result<()> {
+        self.net.env.machine.charge_crossing();
+        match &self.inner {
+            Inner::Tcp(t) => t.bind(addr.addr, addr.port),
+            Inner::Udp(u) => u.bind(addr.addr, addr.port),
+        }
+    }
+
+    fn connect(&self, addr: SockAddr) -> Result<()> {
+        self.net.env.machine.charge_crossing();
+        match &self.inner {
+            Inner::Tcp(t) => t.connect(addr.addr, addr.port),
+            Inner::Udp(u) => u.connect(addr.addr, addr.port),
+        }
+    }
+
+    fn listen(&self, backlog: usize) -> Result<()> {
+        self.net.env.machine.charge_crossing();
+        self.tcp()?.listen(backlog)
+    }
+
+    fn accept(&self) -> Result<(Arc<dyn Socket>, SockAddr)> {
+        self.net.env.machine.charge_crossing();
+        let (child, (addr, port)) = self.tcp()?.accept()?;
+        Ok((
+            Self::from_tcp(&self.net, child) as Arc<dyn Socket>,
+            SockAddr::new(addr, port),
+        ))
+    }
+
+    fn send(&self, buf: &[u8]) -> Result<usize> {
+        self.net.env.machine.charge_crossing();
+        match &self.inner {
+            Inner::Tcp(t) => t.send(buf),
+            Inner::Udp(u) => u.send(buf),
+        }
+    }
+
+    fn recv(&self, buf: &mut [u8]) -> Result<usize> {
+        self.net.env.machine.charge_crossing();
+        match &self.inner {
+            Inner::Tcp(t) => t.recv(buf),
+            Inner::Udp(u) => u.recvfrom(buf).map(|(n, _)| n),
+        }
+    }
+
+    fn sendto(&self, buf: &[u8], addr: SockAddr) -> Result<usize> {
+        self.net.env.machine.charge_crossing();
+        self.udp()?.sendto(buf, addr.addr, addr.port)
+    }
+
+    fn recvfrom(&self, buf: &mut [u8]) -> Result<(usize, SockAddr)> {
+        self.net.env.machine.charge_crossing();
+        let (n, (addr, port)) = self.udp()?.recvfrom(buf)?;
+        Ok((n, SockAddr::new(addr, port)))
+    }
+
+    fn getsockname(&self) -> Result<SockAddr> {
+        let (addr, port) = match &self.inner {
+            Inner::Tcp(t) => t.local_addr(),
+            Inner::Udp(u) => u.local_addr(),
+        };
+        Ok(SockAddr::new(addr, port))
+    }
+
+    fn getpeername(&self) -> Result<SockAddr> {
+        match &self.inner {
+            Inner::Tcp(t) => {
+                let (addr, port) = t.peer_addr();
+                if addr == Ipv4Addr::UNSPECIFIED {
+                    return Err(Error::NotConn);
+                }
+                Ok(SockAddr::new(addr, port))
+            }
+            Inner::Udp(u) => {
+                let (addr, port) = u.peer_addr().ok_or(Error::NotConn)?;
+                Ok(SockAddr::new(addr, port))
+            }
+        }
+    }
+
+    fn setsockopt(&self, opt: SockOpt) -> Result<()> {
+        if let Inner::Tcp(t) = &self.inner {
+            t.setsockopt(opt);
+        }
+        Ok(())
+    }
+
+    fn shutdown(&self, how: Shutdown) -> Result<()> {
+        self.net.env.machine.charge_crossing();
+        match how {
+            Shutdown::Write | Shutdown::Both => {
+                if let Inner::Tcp(t) = &self.inner {
+                    t.close();
+                }
+                Ok(())
+            }
+            Shutdown::Read => Ok(()),
+        }
+    }
+}
+
+impl Stream for BsdComSocket {
+    fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        self.recv(buf)
+    }
+
+    fn write(&self, buf: &[u8]) -> Result<usize> {
+        self.send(buf)
+    }
+}
+
+impl AsyncIo for BsdComSocket {
+    fn poll(&self) -> Result<IoReady> {
+        Ok(match &self.inner {
+            Inner::Tcp(t) => {
+                let (readable, writable) = t.readiness();
+                IoReady {
+                    readable,
+                    writable,
+                    exception: false,
+                }
+            }
+            Inner::Udp(u) => IoReady {
+                readable: u.readable(),
+                writable: true,
+                exception: false,
+            },
+        })
+    }
+}
+
+com_object!(BsdComSocket, me, [Socket, Stream, AsyncIo]);

@@ -1,0 +1,120 @@
+//! Property tests: mbuf chains against a flat-vector model.  The chain
+//! operations (prepend, adjust, copy, concatenate, pull-up) must agree
+//! with plain byte-slice semantics no matter how the chain is fragmented.
+
+use oskit_freebsd_net::bsd::mbuf::{Mbuf, MbufChain, MCLBYTES, MLEN};
+use proptest::prelude::*;
+
+/// Builds a chain holding `data` with an arbitrary fragmentation chosen
+/// by `cuts`, mixing small mbufs and clusters.
+fn build_chain(data: &[u8], cuts: &[usize]) -> MbufChain {
+    let mut chain = MbufChain::new();
+    let mut at = 0;
+    let mut cuts = cuts.to_vec();
+    cuts.sort_unstable();
+    for &cut in &cuts {
+        let cut = cut % (data.len() + 1);
+        if cut <= at {
+            continue;
+        }
+        push_frag(&mut chain, &data[at..cut]);
+        at = cut;
+    }
+    if at < data.len() {
+        push_frag(&mut chain, &data[at..]);
+    }
+    chain
+}
+
+fn push_frag(chain: &mut MbufChain, mut frag: &[u8]) {
+    while !frag.is_empty() {
+        let n = frag.len().min(MCLBYTES);
+        if n <= MLEN / 2 {
+            chain.m_cat(MbufChain::from_mbuf(Mbuf::small(&frag[..n], 4)));
+        } else {
+            chain.m_cat(MbufChain::from_mbuf(Mbuf::cluster(&frag[..n])));
+        }
+        frag = &frag[n..];
+    }
+}
+
+proptest! {
+    #[test]
+    fn chain_matches_flat_model(
+        data in proptest::collection::vec(any::<u8>(), 1..5000),
+        cuts in proptest::collection::vec(0usize..5000, 0..6),
+        front in 0usize..100,
+        back in 0usize..100,
+    ) {
+        let chain = build_chain(&data, &cuts);
+        prop_assert_eq!(chain.pkt_len(), data.len());
+        prop_assert_eq!(chain.to_vec(), data.clone());
+
+        // m_adj front/back vs slice.
+        let mut model = data.clone();
+        let mut c2 = chain.clone();
+        let f = front.min(model.len());
+        c2.m_adj(f);
+        model.drain(..f);
+        let b = back.min(model.len());
+        c2.m_adj_tail(b);
+        model.truncate(model.len() - b);
+        prop_assert_eq!(c2.to_vec(), model);
+    }
+
+    #[test]
+    fn copym_matches_slice(
+        data in proptest::collection::vec(any::<u8>(), 1..4000),
+        cuts in proptest::collection::vec(0usize..4000, 0..5),
+        off in 0usize..4000,
+        len in 0usize..4000,
+    ) {
+        let chain = build_chain(&data, &cuts);
+        let off = off % data.len();
+        let len = len.min(data.len() - off);
+        if len == 0 {
+            return Ok(());
+        }
+        let copy = chain.m_copym(off, len);
+        prop_assert_eq!(copy.to_vec(), &data[off..off + len]);
+        // The original is untouched.
+        prop_assert_eq!(chain.to_vec(), data);
+    }
+
+    #[test]
+    fn prepend_then_pullup(
+        data in proptest::collection::vec(any::<u8>(), 1..3000),
+        cuts in proptest::collection::vec(0usize..3000, 0..5),
+        hdr in proptest::collection::vec(any::<u8>(), 1..54),
+    ) {
+        let mut chain = build_chain(&data, &cuts);
+        chain.m_prepend(&hdr);
+        let mut expect = hdr.clone();
+        expect.extend_from_slice(&data);
+        prop_assert_eq!(chain.to_vec(), expect.clone());
+        // Pull up a header-sized prefix and read it contiguously.
+        let n = (hdr.len() + 7).min(expect.len()).min(MLEN);
+        chain.m_pullup(n);
+        let got = chain.with_contig(n, |d| d.to_vec()).expect("pullup contract");
+        prop_assert_eq!(&got[..], &expect[..n]);
+        prop_assert_eq!(chain.to_vec(), expect);
+    }
+
+    #[test]
+    fn m_copydata_any_window(
+        data in proptest::collection::vec(any::<u8>(), 1..4000),
+        cuts in proptest::collection::vec(0usize..4000, 0..5),
+        off in 0usize..4000,
+        len in 1usize..512,
+    ) {
+        let chain = build_chain(&data, &cuts);
+        let off = off % data.len();
+        let len = len.min(data.len() - off);
+        if len == 0 {
+            return Ok(());
+        }
+        let mut out = vec![0u8; len];
+        chain.m_copydata(off, &mut out);
+        prop_assert_eq!(&out[..], &data[off..off + len]);
+    }
+}

@@ -1,0 +1,169 @@
+//! GDB Remote Serial Protocol framing: `$<data>#<checksum>`.
+
+/// Hex digit table.
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as lowercase hex.
+pub fn to_hex(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for &b in data {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xF) as usize] as char);
+    }
+    s
+}
+
+/// Decodes hex into bytes; `None` on odd length or bad digits.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in b.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// The modulo-256 checksum of a payload.
+pub fn checksum(payload: &[u8]) -> u8 {
+    payload.iter().fold(0u8, |a, &b| a.wrapping_add(b))
+}
+
+/// Frames a payload as `$payload#cs`.
+pub fn encode_packet(payload: &str) -> Vec<u8> {
+    let cs = checksum(payload.as_bytes());
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.push(b'$');
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'#');
+    out.push(HEX[(cs >> 4) as usize]);
+    out.push(HEX[(cs & 0xF) as usize]);
+    out
+}
+
+/// Incrementally decodes packets from a byte stream.
+#[derive(Default)]
+pub struct PacketDecoder {
+    buf: Vec<u8>,
+    in_packet: bool,
+}
+
+/// One decoder step result.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Decoded {
+    /// Nothing complete yet.
+    Pending,
+    /// A packet arrived with a valid checksum.
+    Packet(String),
+    /// A packet arrived with a *bad* checksum (caller NAKs).
+    BadChecksum,
+    /// An interrupt character (0x03).
+    Interrupt,
+}
+
+impl PacketDecoder {
+    /// Feeds one byte.
+    pub fn push(&mut self, byte: u8) -> Decoded {
+        if !self.in_packet {
+            match byte {
+                b'$' => {
+                    self.in_packet = true;
+                    self.buf.clear();
+                    Decoded::Pending
+                }
+                0x03 => Decoded::Interrupt,
+                _ => Decoded::Pending, // Acks and noise.
+            }
+        } else {
+            self.buf.push(byte);
+            // A complete packet ends with '#' + two hex digits.
+            let n = self.buf.len();
+            if n >= 3 && self.buf[n - 3] == b'#' {
+                self.in_packet = false;
+                let payload = self.buf[..n - 3].to_vec();
+                let cs_str = std::str::from_utf8(&self.buf[n - 2..]).unwrap_or("zz");
+                let want = u8::from_str_radix(cs_str, 16).unwrap_or(0xFF);
+                if checksum(&payload) == want {
+                    Decoded::Packet(String::from_utf8_lossy(&payload).into_owned())
+                } else {
+                    Decoded::BadChecksum
+                }
+            } else {
+                Decoded::Pending
+            }
+        }
+    }
+
+    /// Decodes a packet from a complete buffer (tests, simple paths).
+    pub fn decode_all(bytes: &[u8]) -> Vec<Decoded> {
+        let mut d = PacketDecoder::default();
+        bytes
+            .iter()
+            .map(|&b| d.push(b))
+            .filter(|r| *r != Decoded::Pending)
+            .collect()
+    }
+}
+
+/// Decodes the first packet in `bytes` (convenience).
+pub fn decode_packet(bytes: &[u8]) -> Option<String> {
+    PacketDecoder::decode_all(bytes)
+        .into_iter()
+        .find_map(|d| match d {
+            Decoded::Packet(p) => Some(p),
+            _ => None,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_matches_protocol_examples() {
+        // "$OK#9a" is the canonical example.
+        assert_eq!(encode_packet("OK"), b"$OK#9a");
+        assert_eq!(encode_packet(""), b"$#00");
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let pkt = encode_packet("m4015bc,2");
+        assert_eq!(decode_packet(&pkt), Some("m4015bc,2".to_string()));
+    }
+
+    #[test]
+    fn bad_checksum_is_flagged() {
+        let mut pkt = encode_packet("g");
+        *pkt.last_mut().unwrap() ^= 1;
+        let results = PacketDecoder::decode_all(&pkt);
+        assert_eq!(results, vec![Decoded::BadChecksum]);
+    }
+
+    #[test]
+    fn interrupt_character() {
+        let results = PacketDecoder::decode_all(&[0x03]);
+        assert_eq!(results, vec![Decoded::Interrupt]);
+    }
+
+    #[test]
+    fn noise_between_packets_is_ignored() {
+        let mut bytes = b"+++garbage".to_vec();
+        bytes.extend_from_slice(&encode_packet("?"));
+        let results = PacketDecoder::decode_all(&bytes);
+        assert_eq!(results, vec![Decoded::Packet("?".to_string())]);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0u8, 1, 0xAB, 0xFF];
+        assert_eq!(to_hex(&data), "0001abff");
+        assert_eq!(from_hex("0001abff"), Some(data.to_vec()));
+        assert_eq!(from_hex("xyz"), None);
+        assert_eq!(from_hex("abc"), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! The debug-target abstraction: what the stub manipulates.
+
+use oskit_machine::{Machine, TrapFrame};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why the target stopped (reported to GDB as `S<signal>`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// Breakpoint / trace trap (SIGTRAP).
+    Trap,
+    /// Memory fault (SIGSEGV).
+    Segv,
+    /// Interrupted (SIGINT).
+    Int,
+}
+
+impl StopReason {
+    /// The Unix signal number GDB expects.
+    pub fn signal(self) -> u8 {
+        match self {
+            StopReason::Trap => 5,
+            StopReason::Segv => 11,
+            StopReason::Int => 2,
+        }
+    }
+}
+
+/// A debuggable target: registers, memory, and breakpoints.
+///
+/// The stub drives this; the kernel support library implements it over
+/// the machine and the interrupted trap frame.
+pub trait GdbTarget {
+    /// Reads the register file as a trap frame.
+    fn regs(&self) -> TrapFrame;
+
+    /// Replaces the register file.
+    fn set_regs(&mut self, f: TrapFrame);
+
+    /// Reads memory; false if any byte is inaccessible.
+    fn read_mem(&self, addr: u32, buf: &mut [u8]) -> bool;
+
+    /// Writes memory; false if inaccessible.
+    fn write_mem(&mut self, addr: u32, data: &[u8]) -> bool;
+
+    /// Inserts a software breakpoint (the stub stores/restores the
+    /// overwritten instruction byte, as the real `int3` patching did).
+    fn set_breakpoint(&mut self, addr: u32) -> bool;
+
+    /// Removes a breakpoint.
+    fn clear_breakpoint(&mut self, addr: u32) -> bool;
+
+    /// Breakpoint addresses currently set (diagnostics).
+    fn breakpoints(&self) -> Vec<u32>;
+}
+
+/// The standard target: a simulated machine plus the trap frame of the
+/// interrupted context.
+pub struct MachineTarget {
+    machine: Arc<Machine>,
+    /// The interrupted context's registers.
+    pub frame: TrapFrame,
+    /// Saved instruction bytes under `int3` patches.
+    saved: HashMap<u32, u8>,
+}
+
+/// The x86 breakpoint instruction.
+const INT3: u8 = 0xCC;
+
+impl MachineTarget {
+    /// Wraps a machine and the trap frame that entered the stub.
+    pub fn new(machine: &Arc<Machine>, frame: TrapFrame) -> MachineTarget {
+        MachineTarget {
+            machine: Arc::clone(machine),
+            frame,
+            saved: HashMap::new(),
+        }
+    }
+
+    fn in_ram(&self, addr: u32, len: usize) -> bool {
+        (addr as usize)
+            .checked_add(len)
+            .is_some_and(|end| end <= self.machine.phys.size())
+    }
+}
+
+impl GdbTarget for MachineTarget {
+    fn regs(&self) -> TrapFrame {
+        self.frame
+    }
+
+    fn set_regs(&mut self, f: TrapFrame) {
+        self.frame = f;
+    }
+
+    fn read_mem(&self, addr: u32, buf: &mut [u8]) -> bool {
+        if !self.in_ram(addr, buf.len()) {
+            return false;
+        }
+        self.machine.phys.read(addr, buf);
+        // Present the *original* bytes where breakpoints are patched in,
+        // as real stubs do.
+        for (i, b) in buf.iter_mut().enumerate() {
+            if let Some(&orig) = self.saved.get(&(addr + i as u32)) {
+                *b = orig;
+            }
+        }
+        true
+    }
+
+    fn write_mem(&mut self, addr: u32, data: &[u8]) -> bool {
+        if !self.in_ram(addr, data.len()) {
+            return false;
+        }
+        self.machine.phys.write(addr, data);
+        true
+    }
+
+    fn set_breakpoint(&mut self, addr: u32) -> bool {
+        if !self.in_ram(addr, 1) || self.saved.contains_key(&addr) {
+            return self.saved.contains_key(&addr);
+        }
+        let orig = self.machine.phys.read_u8(addr);
+        self.machine.phys.write_u8(addr, INT3);
+        self.saved.insert(addr, orig);
+        true
+    }
+
+    fn clear_breakpoint(&mut self, addr: u32) -> bool {
+        match self.saved.remove(&addr) {
+            Some(orig) => {
+                self.machine.phys.write_u8(addr, orig);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn breakpoints(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.saved.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskit_machine::Sim;
+
+    fn target() -> MachineTarget {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "m", 1 << 16);
+        m.phys.write(0x1000, b"\x55\x89\xe5\x83");
+        MachineTarget::new(&m, TrapFrame::at(3, 0x1000))
+    }
+
+    #[test]
+    fn breakpoints_patch_and_restore() {
+        let mut t = target();
+        assert!(t.set_breakpoint(0x1001));
+        // Raw memory holds int3...
+        assert_eq!(t.machine.phys.read_u8(0x1001), INT3);
+        // ...but the debugger sees the original byte.
+        let mut buf = [0u8; 4];
+        assert!(t.read_mem(0x1000, &mut buf));
+        assert_eq!(&buf, b"\x55\x89\xe5\x83");
+        assert!(t.clear_breakpoint(0x1001));
+        assert_eq!(t.machine.phys.read_u8(0x1001), 0x89);
+        assert!(!t.clear_breakpoint(0x1001));
+    }
+
+    #[test]
+    fn memory_bounds_are_enforced() {
+        let mut t = target();
+        let mut buf = [0u8; 8];
+        assert!(!t.read_mem(0xFFFF_FFF0, &mut buf));
+        assert!(!t.write_mem(0x1_0000 - 4, &[0u8; 8]));
+        assert!(t.write_mem(0x1_0000 - 8, &[0u8; 8]));
+    }
+
+    #[test]
+    fn stop_reason_signals() {
+        assert_eq!(StopReason::Trap.signal(), 5);
+        assert_eq!(StopReason::Segv.signal(), 11);
+        assert_eq!(StopReason::Int.signal(), 2);
+    }
+}

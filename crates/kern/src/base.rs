@@ -1,0 +1,297 @@
+//! Base environment bring-up (paper §3.2).
+//!
+//! "By default, the kernel support library automatically does everything
+//! necessary to get the processor into a convenient execution environment
+//! in which interrupts, traps, debugging, and other standard facilities
+//! work as expected.  The library also by default automatically locates
+//! all of the boot modules loaded with the kernel and reserves the
+//! physical memory in which they are located ...  The client OS need only
+//! provide a `main` function in the standard C style."
+
+use crate::console::Console;
+use crate::seg::standard_gdt;
+use crate::traps::TrapTable;
+use oskit_boot::loader::LoadedKernel;
+use oskit_boot::multiboot::{MmapEntry, MultibootInfo};
+use oskit_lmm::Lmm;
+use oskit_machine::timer::Timer;
+use oskit_machine::uart::Uart;
+use oskit_machine::{Machine, PhysAddr};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// LMM memory-type flags used by the base environment's physical memory
+/// pool (mirroring the OSKit's `LMMF_1MB`/`LMMF_16MB`).
+pub mod memflags {
+    /// Memory below 1 MB.
+    pub const M_1MB: u32 = 1;
+    /// Memory below 16 MB (ISA DMA reachable).
+    pub const M_16MB: u32 = 2;
+}
+
+/// Everything the base environment sets up before calling the client's
+/// `main`.
+pub struct BaseEnv {
+    /// The machine we booted on.
+    pub machine: Arc<Machine>,
+    /// Serial console device.
+    pub uart: Arc<Uart>,
+    /// Console object (putchar/puts + COM CharDev).
+    pub console: Arc<Console>,
+    /// Interval timer.
+    pub timer: Arc<Timer>,
+    /// Trap dispatch table with default handlers installed.
+    pub traps: Arc<TrapTable>,
+    /// The decoded MultiBoot information.
+    pub info: MultibootInfo,
+    /// `main`-style arguments parsed from the command line.
+    pub args: Vec<String>,
+    /// The physical memory pool: all available RAM minus the kernel, the
+    /// modules, and the info structures.
+    pub lmm: Arc<Mutex<Lmm>>,
+    /// The installed flat-model GDT image.
+    pub gdt: Vec<u64>,
+}
+
+impl BaseEnv {
+    /// Brings up the base environment on `machine` for a kernel the boot
+    /// loader described with `loaded`.
+    pub fn init(machine: &Arc<Machine>, loaded: &LoadedKernel) -> Arc<BaseEnv> {
+        let info = MultibootInfo::read_from(&machine.phys, loaded.info_addr);
+
+        // Physical memory pool with the PC's three classic region types
+        // (paper §3.3: "e.g., only the first 16MB of physical memory on
+        // PCs is accessible to the built-in DMA controller").
+        let mem_size = machine.phys.size() as u64;
+        let mut lmm = Lmm::new();
+        lmm.add_region(
+            0x1000,
+            0x9F000 - 0x1000,
+            memflags::M_1MB | memflags::M_16MB,
+            -2,
+        );
+        lmm.add_region(
+            0x10_0000,
+            mem_size.min(0x100_0000) - 0x10_0000,
+            memflags::M_16MB,
+            -1,
+        );
+        if mem_size > 0x100_0000 {
+            lmm.add_region(0x100_0000, mem_size - 0x100_0000, 0, 0);
+        }
+        // Donate the RAM the BIOS map reports available...
+        for e in &info.mmap {
+            if e.kind == MmapEntry::AVAILABLE {
+                lmm.add_free(e.base, e.length);
+            }
+        }
+        // ...then reserve what the loader placed: everything from 1 MB up
+        // to `first_free` (kernel image + modules + info), plus each
+        // module's exact range in case modules live elsewhere.
+        lmm.remove_free(0x10_0000, u64::from(loaded.first_free) - 0x10_0000);
+        for m in &info.modules {
+            lmm.remove_free(u64::from(m.start), u64::from(m.end - m.start));
+        }
+
+        // Traps, console, timer, GDT — the "convenient execution
+        // environment".
+        let traps = Arc::new(TrapTable::new());
+        let uart = Uart::new(machine);
+        let console = Console::new(&uart);
+        let timer = Timer::new(machine);
+        let gdt = standard_gdt();
+
+        // Interrupts on, as the client `main` expects.
+        machine.irq.enable();
+
+        let args = info
+            .cmdline
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+
+        Arc::new(BaseEnv {
+            machine: Arc::clone(machine),
+            uart,
+            console,
+            timer,
+            traps,
+            info,
+            args,
+            lmm: Arc::new(Mutex::new(lmm)),
+            gdt,
+        })
+    }
+
+    /// Allocates physical memory from the pool (convenience).
+    pub fn phys_alloc(&self, size: u64, flags: u32) -> Option<PhysAddr> {
+        self.lmm.lock().alloc(size, flags).map(|a| a as PhysAddr)
+    }
+
+    /// Frees memory back to the pool.
+    pub fn phys_free(&self, addr: PhysAddr, size: u64) {
+        self.lmm.lock().free(u64::from(addr), size);
+    }
+}
+
+/// An [`oskit_osenv::OsenvMem`] implementation backed by the base
+/// environment's LMM — the client-OS override of §4.2.1 in action.
+pub struct LmmOsenvMem {
+    lmm: Arc<Mutex<Lmm>>,
+}
+
+impl LmmOsenvMem {
+    /// Wraps the base environment's pool.
+    pub fn new(env: &BaseEnv) -> LmmOsenvMem {
+        LmmOsenvMem {
+            lmm: Arc::clone(&env.lmm),
+        }
+    }
+}
+
+impl oskit_osenv::OsenvMem for LmmOsenvMem {
+    fn alloc(
+        &mut self,
+        size: usize,
+        align: usize,
+        flags: oskit_osenv::MemFlags,
+    ) -> Option<PhysAddr> {
+        let mut lmmf = 0;
+        if flags.dma {
+            lmmf |= memflags::M_16MB;
+        }
+        if flags.below_1m {
+            lmmf |= memflags::M_1MB;
+        }
+        let align_bits = align.max(1).trailing_zeros();
+        let mut lmm = self.lmm.lock();
+        if flags.no_64k_cross {
+            // Try successive 64 KB windows; the LMM's generalized
+            // allocator does the rest.
+            let mut base = 0u64;
+            while base < u64::from(u32::MAX) {
+                if let Some(a) =
+                    lmm.alloc_gen(size as u64, lmmf, align_bits, 0, base, base + 0x10000)
+                {
+                    return Some(a as PhysAddr);
+                }
+                base += 0x10000;
+                if base >= lmm.find_free(base).map_or(u64::MAX, |(s, _, _)| s) + 0x100_0000 {
+                    // Far past any free memory; give up.
+                    break;
+                }
+            }
+            return None;
+        }
+        lmm.alloc_aligned(size as u64, lmmf, align_bits, 0)
+            .map(|a| a as PhysAddr)
+    }
+
+    fn free(&mut self, addr: PhysAddr, size: usize) {
+        self.lmm.lock().free(u64::from(addr), size as u64);
+    }
+
+    fn avail(&self) -> usize {
+        self.lmm.lock().avail(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskit_boot::loader::{load, make_image, BootModule};
+    use oskit_machine::Sim;
+
+    fn boot() -> (Arc<Machine>, Arc<BaseEnv>) {
+        let sim = Sim::new();
+        let machine = Machine::new(&sim, "pc", 32 * 1024 * 1024);
+        let image = make_image(0x100000, &[0xAB; 4096]);
+        let mods = vec![BootModule::new("data.img", vec![7u8; 8192])];
+        let loaded = load(&machine, &image, "kernel --verbose -x", &mods).unwrap();
+        let env = BaseEnv::init(&machine, &loaded);
+        (machine, env)
+    }
+
+    #[test]
+    fn args_come_from_cmdline() {
+        let (_m, env) = boot();
+        assert_eq!(env.args, ["kernel", "--verbose", "-x"]);
+    }
+
+    #[test]
+    fn interrupts_are_enabled_for_main() {
+        let (m, _env) = boot();
+        assert!(m.irq.enabled());
+    }
+
+    #[test]
+    fn boot_modules_are_reserved_from_the_pool() {
+        let (_m, env) = boot();
+        let module = env.info.modules[0].clone();
+        // No allocation may ever land inside the module.
+        let mut lmm = env.lmm.lock();
+        for _ in 0..2000 {
+            let Some(a) = lmm.alloc(4096, 0) else { break };
+            let a_end = a + 4096;
+            assert!(
+                a_end <= u64::from(module.start) || a >= u64::from(module.end),
+                "allocation {a:#x} overlaps module at {:#x}",
+                module.start
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_image_is_reserved() {
+        let (_m, env) = boot();
+        let mut lmm = env.lmm.lock();
+        for _ in 0..2000 {
+            let Some(a) = lmm.alloc(4096, 0) else { break };
+            assert!(
+                a + 4096 <= 0x100000 || a >= 0x100000 + 32 + 4096,
+                "allocation {a:#x} overlaps kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn dma_allocations_respect_16mb() {
+        let (_m, env) = boot();
+        let a = env.phys_alloc(4096, memflags::M_16MB).unwrap();
+        assert!(a + 4096 <= 0x100_0000);
+    }
+
+    #[test]
+    fn console_reaches_the_uart() {
+        let (_m, env) = boot();
+        env.console.puts("Hello World\n");
+        assert_eq!(env.uart.host_drain(), b"Hello World\r\n");
+    }
+
+    #[test]
+    fn lmm_backed_osenv_mem_override() {
+        let (m, env) = boot();
+        let osenv = oskit_osenv::OsEnv::new(&m);
+        osenv.set_mem_allocator(Box::new(LmmOsenvMem::new(&env)));
+        let a = osenv
+            .mem_alloc(
+                8192,
+                4096,
+                oskit_osenv::MemFlags {
+                    dma: true,
+                    ..oskit_osenv::MemFlags::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(a % 4096, 0);
+        assert!(a + 8192 <= 0x100_0000);
+        osenv.mem_free(a, 8192);
+    }
+
+    #[test]
+    fn gdt_is_flat_model() {
+        let (_m, env) = boot();
+        assert_eq!(env.gdt.len(), 5);
+        assert_eq!(env.gdt[1], 0x00CF_9A00_0000_FFFF);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests: the x86 page tables against a HashMap model.
+
+use oskit_kern::{BumpFrames, MapFlags, PageDir, XlateError};
+use oskit_machine::PhysMem;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Random map/unmap sequences agree with a flat model, across 4 MB
+    /// region boundaries.
+    #[test]
+    fn pagedir_matches_model(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u32..2048, 0u32..1024, any::<bool>()), 1..80)
+    ) {
+        let phys = PhysMem::new(32 * 1024 * 1024);
+        let mut frames = BumpFrames::new(0x40_0000, 0x80_0000);
+        let pd = PageDir::new(&phys, &mut frames).expect("pdir");
+        let mut model: HashMap<u32, (u32, MapFlags)> = HashMap::new();
+        for (do_map, vpn, pfn, writable) in ops {
+            // Spread virtual pages over several 4 MB regions.
+            let va = (vpn % 8) * 0x40_0000 + (vpn / 8) * 0x1000;
+            let pa = 0x0100_0000 + pfn * 0x1000;
+            if do_map {
+                let flags = if writable { MapFlags::KERNEL_RW } else { MapFlags::KERNEL_RO };
+                if pd.map(&phys, &mut frames, va, pa, flags) {
+                    model.insert(va, (pa, flags));
+                }
+            } else {
+                let had = pd.unmap(&phys, va);
+                prop_assert_eq!(had, model.remove(&va).is_some());
+            }
+        }
+        // Every model entry translates; everything else faults.
+        for (&va, &(pa, flags)) in &model {
+            prop_assert_eq!(pd.translate(&phys, va + 0x123), Ok(pa + 0x123));
+            let pte = pd.pte(&phys, va).expect("mapped");
+            prop_assert_eq!(pte & 2 != 0, flags == MapFlags::KERNEL_RW);
+        }
+        // Probe some unmapped addresses.
+        for vpn in 0..16u32 {
+            let va = (vpn % 8) * 0x40_0000 + (vpn / 8) * 0x1000;
+            if !model.contains_key(&va) {
+                let r = pd.translate(&phys, va);
+                prop_assert!(matches!(
+                    r,
+                    Err(XlateError::PdeNotPresent) | Err(XlateError::PteNotPresent)
+                ), "unmapped {va:#x} translated: {r:?}");
+            }
+        }
+    }
+}

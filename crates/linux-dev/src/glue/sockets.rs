@@ -1,0 +1,154 @@
+//! A socket factory over the Linux-style stack — proving the paper's §5
+//! claim: "since the C library's socket call uses a client-provided
+//! socket factory interface to create new sockets, this C library code
+//! can be used with any protocol stack that provides these socket and
+//! socket factory interfaces."
+
+use crate::linux::inet::{LinuxInet, LinuxSock};
+use oskit_com::interfaces::socket::{
+    Domain, Shutdown, SockAddr, SockOpt, SockType, Socket, SocketFactory,
+};
+use oskit_com::interfaces::stream::{AsyncIo, IoReady, Stream};
+use oskit_com::{com_object, new_com, Error, Result, SelfRef};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The Linux stack's socket factory (TCP only; the mini stack has no UDP).
+pub struct LinuxSocketFactory {
+    me: SelfRef<LinuxSocketFactory>,
+    inet: Arc<LinuxInet>,
+}
+
+impl LinuxSocketFactory {
+    /// Wraps a stack instance.
+    pub fn new(inet: &Arc<LinuxInet>) -> Arc<LinuxSocketFactory> {
+        new_com(
+            LinuxSocketFactory {
+                me: SelfRef::new(),
+                inet: Arc::clone(inet),
+            },
+            |o| &o.me,
+        )
+    }
+}
+
+impl SocketFactory for LinuxSocketFactory {
+    fn create(&self, domain: Domain, ty: SockType) -> Result<Arc<dyn Socket>> {
+        let Domain::Inet = domain;
+        match ty {
+            SockType::Stream => Ok(LinuxComSocket::wrap(self.inet.socket()) as Arc<dyn Socket>),
+            SockType::Dgram => Err(Error::ProtoNoSupport),
+        }
+    }
+}
+
+com_object!(LinuxSocketFactory, me, [SocketFactory]);
+
+/// A Linux socket behind the standard COM socket interface.
+pub struct LinuxComSocket {
+    me: SelfRef<LinuxComSocket>,
+    sock: Arc<LinuxSock>,
+}
+
+impl LinuxComSocket {
+    fn wrap(sock: Arc<LinuxSock>) -> Arc<LinuxComSocket> {
+        new_com(
+            LinuxComSocket {
+                me: SelfRef::new(),
+                sock,
+            },
+            |o| &o.me,
+        )
+    }
+}
+
+/// The mini stack reports failures as `()`; map them onto the closest
+/// errno, as the real glue's error conversion tables did (§4.7.2).
+fn conv<T>(r: std::result::Result<T, ()>, e: Error) -> Result<T> {
+    r.map_err(|()| e)
+}
+
+impl Socket for LinuxComSocket {
+    fn bind(&self, addr: SockAddr) -> Result<()> {
+        conv(self.sock.bind(addr.port), Error::AddrInUse)
+    }
+
+    fn connect(&self, addr: SockAddr) -> Result<()> {
+        conv(self.sock.connect(addr.addr, addr.port), Error::ConnRefused)
+    }
+
+    fn listen(&self, backlog: usize) -> Result<()> {
+        conv(self.sock.listen(backlog), Error::Inval)
+    }
+
+    fn accept(&self) -> Result<(Arc<dyn Socket>, SockAddr)> {
+        let child = conv(self.sock.accept(), Error::Inval)?;
+        let peer = child.peer_addr();
+        Ok((
+            LinuxComSocket::wrap(child) as Arc<dyn Socket>,
+            SockAddr::new(peer.0, peer.1),
+        ))
+    }
+
+    fn send(&self, buf: &[u8]) -> Result<usize> {
+        conv(self.sock.send(buf), Error::Pipe)
+    }
+
+    fn recv(&self, buf: &mut [u8]) -> Result<usize> {
+        conv(self.sock.recv(buf), Error::NotConn)
+    }
+
+    fn sendto(&self, _buf: &[u8], _addr: SockAddr) -> Result<usize> {
+        Err(Error::OpNotSupp)
+    }
+
+    fn recvfrom(&self, _buf: &mut [u8]) -> Result<(usize, SockAddr)> {
+        Err(Error::OpNotSupp)
+    }
+
+    fn getsockname(&self) -> Result<SockAddr> {
+        let (a, p) = self.sock.local_addr();
+        Ok(SockAddr::new(a, p))
+    }
+
+    fn getpeername(&self) -> Result<SockAddr> {
+        let (a, p) = self.sock.peer_addr();
+        if a == Ipv4Addr::UNSPECIFIED {
+            return Err(Error::NotConn);
+        }
+        Ok(SockAddr::new(a, p))
+    }
+
+    fn setsockopt(&self, _opt: SockOpt) -> Result<()> {
+        Ok(()) // The mini stack has fixed buffers and no Nagle knob.
+    }
+
+    fn shutdown(&self, how: Shutdown) -> Result<()> {
+        if matches!(how, Shutdown::Write | Shutdown::Both) {
+            self.sock.close();
+        }
+        Ok(())
+    }
+}
+
+impl Stream for LinuxComSocket {
+    fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        self.recv(buf)
+    }
+
+    fn write(&self, buf: &[u8]) -> Result<usize> {
+        self.send(buf)
+    }
+}
+
+impl AsyncIo for LinuxComSocket {
+    fn poll(&self) -> Result<IoReady> {
+        Ok(IoReady {
+            readable: self.sock.readable(),
+            writable: true,
+            exception: false,
+        })
+    }
+}
+
+com_object!(LinuxComSocket, me, [Socket, Stream, AsyncIo]);

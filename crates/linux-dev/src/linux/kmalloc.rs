@@ -1,0 +1,126 @@
+//! `kmalloc`/`kfree` with GFP flags, in donor idiom.
+//!
+//! The interesting part for the OSKit is `GFP_DMA`: Linux drivers allocate
+//! bounce buffers that must be ISA-DMA reachable, and the glue routes that
+//! constraint to the osenv memory service (paper §3.3, §4.2.1).
+
+use oskit_osenv::{MemFlags, OsEnv};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Allocation flags (`GFP_*`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Gfp {
+    /// Must be ISA-DMA reachable (`GFP_DMA`).
+    pub dma: bool,
+    /// May not sleep (`GFP_ATOMIC`) — recorded for fidelity; the osenv
+    /// allocator never sleeps anyway.
+    pub atomic: bool,
+}
+
+impl Gfp {
+    /// `GFP_KERNEL`.
+    pub const KERNEL: Gfp = Gfp {
+        dma: false,
+        atomic: false,
+    };
+    /// `GFP_ATOMIC`.
+    pub const ATOMIC: Gfp = Gfp {
+        dma: false,
+        atomic: true,
+    };
+    /// `GFP_DMA`.
+    pub const DMA: Gfp = Gfp {
+        dma: true,
+        atomic: false,
+    };
+}
+
+/// The allocator: sizes are remembered so `kfree` takes only the address.
+pub struct Kmalloc {
+    env: Arc<OsEnv>,
+    sizes: Mutex<HashMap<u32, usize>>,
+}
+
+impl Kmalloc {
+    /// Creates the pool over an environment.
+    pub fn new(env: &Arc<OsEnv>) -> Kmalloc {
+        Kmalloc {
+            env: Arc::clone(env),
+            sizes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// `kmalloc(size, flags)` — returns a physical address.
+    pub fn kmalloc(&self, size: usize, flags: Gfp) -> Option<u32> {
+        let addr = self.env.mem_alloc(
+            size,
+            16,
+            MemFlags {
+                dma: flags.dma,
+                ..MemFlags::default()
+            },
+        )?;
+        self.sizes.lock().insert(addr, size);
+        Some(addr)
+    }
+
+    /// `kfree(addr)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wild or double free.
+    pub fn kfree(&self, addr: u32) {
+        let size = self
+            .sizes
+            .lock()
+            .remove(&addr)
+            .expect("kfree of unallocated address");
+        self.env.mem_free(addr, size);
+    }
+
+    /// Live allocation count (diagnostics).
+    pub fn live(&self) -> usize {
+        self.sizes.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskit_machine::{Machine, Sim, DMA_LIMIT};
+
+    fn pool() -> Kmalloc {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "m", 32 * 1024 * 1024);
+        Kmalloc::new(&OsEnv::new(&m))
+    }
+
+    #[test]
+    fn gfp_dma_lands_low() {
+        let p = pool();
+        let a = p.kmalloc(4096, Gfp::DMA).unwrap();
+        assert!(a + 4096 <= DMA_LIMIT);
+        p.kfree(a);
+        assert_eq!(p.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kfree of unallocated")]
+    fn double_kfree_panics() {
+        let p = pool();
+        let a = p.kmalloc(64, Gfp::KERNEL).unwrap();
+        p.kfree(a);
+        p.kfree(a);
+    }
+
+    #[test]
+    fn distinct_allocations() {
+        let p = pool();
+        let a = p.kmalloc(100, Gfp::KERNEL).unwrap();
+        let b = p.kmalloc(100, Gfp::KERNEL).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.live(), 2);
+    }
+}

@@ -1,0 +1,13 @@
+//! The "encapsulated donor code": Linux 2.0-style drivers and networking.
+//!
+//! Everything in this module tree is written in the donor system's idiom
+//! (paper §4.7.1 keeps donor code in its own subtree, `linux/src`,
+//! mirrored here) and consumes Linux-native services (`current`,
+//! `sleep_on`/`wake_up`, `kmalloc`, jiffies) that the glue emulates.
+
+pub mod blkdev;
+pub mod inet;
+pub mod kmalloc;
+pub mod netdevice;
+pub mod sched;
+pub mod skbuff;

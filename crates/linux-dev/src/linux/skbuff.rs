@@ -1,0 +1,274 @@
+//! `sk_buff` — the Linux network packet buffer, in donor idiom.
+//!
+//! This module is "encapsulated legacy code" in the sense of paper §4.7:
+//! it keeps Linux 2.0's names and semantics (`alloc_skb`, `skb_reserve`,
+//! `skb_put`, `skb_push`, `skb_pull`, the head/data/tail/end layout) so
+//! the glue around it has something real to encapsulate.  The one Rust
+//! twist is [`SkbStorage::Mapped`]: the "fake skbuff pointing directly to
+//! this data" that the glue manufactures when a foreign `bufio` maps
+//! contiguously (§4.7.3) — read-only, used only on the transmit hand-off.
+
+use oskit_com::interfaces::blkio::BufIo;
+use std::sync::Arc;
+
+/// Where an skbuff's bytes live.
+pub enum SkbStorage {
+    /// The normal case: one contiguous owned buffer.
+    Owned(Vec<u8>),
+    /// A "fake" skbuff aliasing a foreign mapped buffer (zero copy).
+    Mapped(Arc<dyn BufIo>),
+}
+
+/// The Linux packet buffer.
+///
+/// Layout invariant (as in Linux): `0 <= data <= tail <= end`, with the
+/// packet's live bytes in `[data, tail)`.  `skb_reserve` opens headroom,
+/// `skb_push`/`skb_pull` move the data edge for header processing, and
+/// `skb_put` appends at the tail.
+pub struct SkBuff {
+    storage: SkbStorage,
+    /// Offset of the first live byte.
+    data: usize,
+    /// Offset one past the last live byte.
+    tail: usize,
+    /// Total buffer capacity (`end`).
+    end: usize,
+    /// Receiving/transmitting device index, recorded by drivers.
+    pub dev: Option<usize>,
+    /// Ethernet protocol id (host order), set by `eth_type_trans`.
+    pub protocol: u16,
+}
+
+impl SkBuff {
+    /// `alloc_skb(size)`: an empty buffer of capacity `size`.
+    pub fn alloc(size: usize) -> SkBuff {
+        SkBuff {
+            storage: SkbStorage::Owned(vec![0; size]),
+            data: 0,
+            tail: 0,
+            end: size,
+            dev: None,
+            protocol: 0,
+        }
+    }
+
+    /// Builds an skbuff that owns `bytes` outright (the DMA-filled
+    /// receive case: the NIC deposited a complete frame).
+    pub fn from_vec(bytes: Vec<u8>) -> SkBuff {
+        let len = bytes.len();
+        SkBuff {
+            storage: SkbStorage::Owned(bytes),
+            data: 0,
+            tail: len,
+            end: len,
+            dev: None,
+            protocol: 0,
+        }
+    }
+
+    /// Builds a read-only "fake skbuff" aliasing a mapped foreign buffer
+    /// (§4.7.3); `len` is the packet length.
+    pub fn fake_mapped(bufio: Arc<dyn BufIo>, len: usize) -> SkBuff {
+        let end = (bufio.get_size().unwrap_or(len as u64) as usize).max(len);
+        SkBuff {
+            storage: SkbStorage::Mapped(bufio),
+            data: 0,
+            tail: len,
+            end,
+            dev: None,
+            protocol: 0,
+        }
+    }
+
+    /// Whether this is a writable, owned skbuff.
+    pub fn is_owned(&self) -> bool {
+        matches!(self.storage, SkbStorage::Owned(_))
+    }
+
+    /// `skb->len`: live byte count.
+    pub fn len(&self) -> usize {
+        self.tail - self.data
+    }
+
+    /// True when no live bytes are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `skb_headroom()`.
+    pub fn headroom(&self) -> usize {
+        self.data
+    }
+
+    /// `skb_tailroom()`.
+    pub fn tailroom(&self) -> usize {
+        self.end - self.tail
+    }
+
+    /// `skb_reserve(len)`: opens headroom on an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if data is already present (as the kernel's would corrupt).
+    pub fn reserve(&mut self, len: usize) {
+        assert_eq!(self.len(), 0, "skb_reserve on non-empty skb");
+        assert!(self.tail + len <= self.end, "skb_reserve beyond end");
+        self.data += len;
+        self.tail += len;
+    }
+
+    /// `skb_put(len)`: appends `len` bytes of space at the tail, returning
+    /// a mutable slice of the new region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer would overrun (`skb_over_panic`).
+    pub fn put(&mut self, len: usize) -> &mut [u8] {
+        assert!(self.tail + len <= self.end, "skb_over_panic");
+        let start = self.tail;
+        self.tail += len;
+        match &mut self.storage {
+            SkbStorage::Owned(v) => &mut v[start..start + len],
+            SkbStorage::Mapped(_) => panic!("skb_put on mapped skb"),
+        }
+    }
+
+    /// `skb_push(len)`: prepends `len` bytes (header space), returning the
+    /// new front region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on headroom underrun (`skb_under_panic`).
+    pub fn push(&mut self, len: usize) -> &mut [u8] {
+        assert!(self.data >= len, "skb_under_panic");
+        self.data -= len;
+        let start = self.data;
+        match &mut self.storage {
+            SkbStorage::Owned(v) => &mut v[start..start + len],
+            SkbStorage::Mapped(_) => panic!("skb_push on mapped skb"),
+        }
+    }
+
+    /// `skb_pull(len)`: strips `len` bytes from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `len` bytes are live.
+    pub fn pull(&mut self, len: usize) {
+        assert!(self.len() >= len, "skb_pull beyond len");
+        self.data += len;
+    }
+
+    /// `skb_trim(len)`: truncates to `len` live bytes.
+    pub fn trim(&mut self, len: usize) {
+        assert!(len <= self.len(), "skb_trim grows skb");
+        self.tail = self.data + len;
+    }
+
+    /// Runs `f` over the live bytes (works for owned and mapped storage —
+    /// this is the zero-copy read path the driver transmit uses).
+    pub fn with_data<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        match &self.storage {
+            SkbStorage::Owned(v) => f(&v[self.data..self.tail]),
+            SkbStorage::Mapped(b) => {
+                let mut out = None;
+                let mut f = Some(f);
+                b.with_map(self.data, self.tail - self.data, &mut |s| {
+                    if let Some(f) = f.take() {
+                        out = Some(f(s));
+                    }
+                })
+                .expect("mapped skb lost its mapping");
+                out.expect("with_map did not call back")
+            }
+        }
+    }
+
+    /// Mutable access to the live bytes (owned storage only).
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        match &mut self.storage {
+            SkbStorage::Owned(v) => &mut v[self.data..self.tail],
+            SkbStorage::Mapped(_) => panic!("data_mut on mapped skb"),
+        }
+    }
+
+    /// Copies the live bytes out (diagnostics/tests).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.with_data(|d| d.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskit_com::interfaces::blkio::VecBufIo;
+
+    #[test]
+    fn reserve_put_push_pull_lifecycle() {
+        // The canonical driver TX pattern: reserve header room, write
+        // payload, push headers on the front.
+        let mut skb = SkBuff::alloc(1536);
+        skb.reserve(14); // Ethernet header room.
+        skb.put(100).copy_from_slice(&[0xAA; 100]);
+        assert_eq!(skb.len(), 100);
+        skb.push(14).copy_from_slice(&[0xEE; 14]);
+        assert_eq!(skb.len(), 114);
+        assert_eq!(skb.headroom(), 0);
+        skb.with_data(|d| {
+            assert_eq!(&d[..14], &[0xEE; 14]);
+            assert_eq!(&d[14..], &[0xAA; 100]);
+        });
+        // RX-side processing strips the header again.
+        skb.pull(14);
+        assert_eq!(skb.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "skb_over_panic")]
+    fn put_overrun_panics() {
+        let mut skb = SkBuff::alloc(8);
+        skb.put(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "skb_under_panic")]
+    fn push_without_headroom_panics() {
+        let mut skb = SkBuff::alloc(8);
+        skb.push(1);
+    }
+
+    #[test]
+    fn trim_truncates() {
+        let mut skb = SkBuff::from_vec(vec![1, 2, 3, 4, 5]);
+        skb.trim(3);
+        assert_eq!(skb.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mapped_skb_is_zero_copy_readable() {
+        let b = VecBufIo::from_vec(vec![9u8; 64]);
+        let skb = SkBuff::fake_mapped(b, 64);
+        assert!(!skb.is_owned());
+        assert_eq!(skb.len(), 64);
+        skb.with_data(|d| assert!(d.iter().all(|&x| x == 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "skb_put on mapped skb")]
+    fn mapped_skb_is_read_only() {
+        let b = VecBufIo::from_vec(vec![0u8; 64]);
+        let mut skb = SkBuff::fake_mapped(b, 32);
+        skb.put(1);
+    }
+
+    #[test]
+    fn tailroom_accounting() {
+        let mut skb = SkBuff::alloc(100);
+        assert_eq!(skb.tailroom(), 100);
+        skb.reserve(10);
+        assert_eq!(skb.tailroom(), 90);
+        skb.put(20);
+        assert_eq!(skb.tailroom(), 70);
+        assert_eq!(skb.headroom(), 10);
+    }
+}

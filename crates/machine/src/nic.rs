@@ -1,0 +1,312 @@
+//! The Ethernet NIC model and the wire connecting two machines.
+//!
+//! Stands in for the paper's "two Pentium Pro 200MHz PCs connected by
+//! 100Mbps Ethernet" (§5).  The NIC exposes what driver code actually
+//! touches: a receive ring drained at interrupt level and a transmit
+//! entry point that DMAs a contiguous frame onto the wire.  The wire
+//! charges real Ethernet serialization time — preamble, frame, FCS and
+//! inter-frame gap at the configured link rate — per direction.
+
+use crate::machine::Machine;
+use crate::sched::Ns;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Ethernet framing overhead on the wire: preamble+SFD (8) + FCS (4) +
+/// inter-frame gap (12), in bytes.
+pub const WIRE_OVERHEAD_BYTES: u64 = 24;
+
+/// Minimum Ethernet frame (without FCS) — short frames are padded.
+pub const MIN_FRAME: usize = 60;
+
+/// Maximum Ethernet frame (without FCS): 1500 MTU + 14 header.
+pub const MAX_FRAME: usize = 1514;
+
+/// Link parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WireConfig {
+    /// Link rate in bits per second (100 Mbps in the paper).
+    pub bits_per_sec: u64,
+    /// One-way propagation + PHY latency in ns.
+    pub latency_ns: Ns,
+    /// Deterministic fault injection: drop every Nth transmitted frame
+    /// (None = lossless).  Real Ethernet loses frames to collisions and
+    /// overruns; TCP must recover.
+    pub drop_every: Option<u64>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            bits_per_sec: 100_000_000,
+            latency_ns: 1_000,
+            drop_every: None,
+        }
+    }
+}
+
+impl WireConfig {
+    /// Time to serialize a frame of `len` payload bytes onto the wire.
+    pub fn serialize_ns(&self, len: usize) -> Ns {
+        let on_wire = (len.max(MIN_FRAME) as u64) + WIRE_OVERHEAD_BYTES;
+        on_wire * 8 * 1_000_000_000 / self.bits_per_sec
+    }
+}
+
+/// One direction of the full-duplex link.
+struct WireDir {
+    /// The wire is occupied until this time.
+    next_free: Mutex<Ns>,
+}
+
+/// The Ethernet NIC device.
+pub struct Nic {
+    machine: Weak<Machine>,
+    mac: [u8; 6],
+    irq_line: u8,
+    config: WireConfig,
+    peer: Mutex<Option<Weak<Nic>>>,
+    tx_dir: WireDir,
+    rx_ring: Mutex<VecDeque<Vec<u8>>>,
+    rx_capacity: usize,
+    rx_dropped: AtomicU64,
+    tx_count: AtomicU64,
+    wire_dropped: AtomicU64,
+}
+
+impl Nic {
+    /// Attaches a NIC with the given MAC on IRQ 10.
+    pub fn new(machine: &Arc<Machine>, mac: [u8; 6]) -> Arc<Nic> {
+        Self::with_config(machine, mac, WireConfig::default())
+    }
+
+    /// Attaches a NIC with explicit link parameters.
+    pub fn with_config(machine: &Arc<Machine>, mac: [u8; 6], config: WireConfig) -> Arc<Nic> {
+        Arc::new(Nic {
+            machine: Arc::downgrade(machine),
+            mac,
+            irq_line: crate::irq::lines::ETHER,
+            config,
+            peer: Mutex::new(None),
+            tx_dir: WireDir {
+                next_free: Mutex::new(0),
+            },
+            rx_ring: Mutex::new(VecDeque::new()),
+            rx_capacity: 64,
+            rx_dropped: AtomicU64::new(0),
+            tx_count: AtomicU64::new(0),
+            wire_dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The station MAC address.
+    pub fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    /// The IRQ line raised on packet reception.
+    pub fn irq_line(&self) -> u8 {
+        self.irq_line
+    }
+
+    /// Frames dropped because the receive ring was full.
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Connects two NICs back to back (a crossover cable / dedicated
+    /// switch port pair).
+    pub fn connect(a: &Arc<Nic>, b: &Arc<Nic>) {
+        *a.peer.lock() = Some(Arc::downgrade(b));
+        *b.peer.lock() = Some(Arc::downgrade(a));
+    }
+
+    /// Transmits a contiguous frame (driver → wire).
+    ///
+    /// The frame leaves when the transmit direction is free; serialization
+    /// and propagation delays are charged on the wire, not the CPU (the
+    /// NIC DMAs autonomously).  Oversized frames panic — the driver must
+    /// respect the MTU, as real hardware would reject them.
+    pub fn transmit(&self, frame: &[u8]) {
+        assert!(frame.len() <= MAX_FRAME, "frame exceeds MTU: {}", frame.len());
+        let Some(machine) = self.machine.upgrade() else {
+            return;
+        };
+        machine.meter.packets_sent.fetch_add(1, Ordering::Relaxed);
+        // Fault injection: the frame occupies the wire but never arrives.
+        let n = self.tx_count.fetch_add(1, Ordering::Relaxed) + 1;
+        let dropped = self
+            .config
+            .drop_every
+            .is_some_and(|every| n % every == 0);
+        if dropped {
+            self.wire_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let peer = self.peer.lock().clone();
+        let Some(peer) = peer.and_then(|w| w.upgrade()) else {
+            return; // Unconnected: frames vanish, like an unplugged cable.
+        };
+        let start = {
+            let mut free = self.tx_dir.next_free.lock();
+            let start = (*free).max(machine.cpu_now());
+            *free = start + self.config.serialize_ns(frame.len());
+            *free
+        };
+        if dropped {
+            return;
+        }
+        let arrival = start + self.config.latency_ns;
+        let data = frame.to_vec();
+        let sim = Arc::clone(&machine.sim);
+        sim.at_abs(arrival, move || peer.wire_deliver(data));
+    }
+
+    /// Frames destroyed by injected wire faults.
+    pub fn wire_dropped(&self) -> u64 {
+        self.wire_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Called by the wire when a frame arrives: queues it on the receive
+    /// ring and raises the receive interrupt.
+    fn wire_deliver(self: &Arc<Self>, frame: Vec<u8>) {
+        let Some(machine) = self.machine.upgrade() else {
+            return;
+        };
+        machine.observe(machine.sim.now());
+        {
+            let mut ring = self.rx_ring.lock();
+            if ring.len() >= self.rx_capacity {
+                self.rx_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ring.push_back(frame);
+        }
+        machine
+            .meter
+            .packets_received
+            .fetch_add(1, Ordering::Relaxed);
+        machine.irq.raise(self.irq_line);
+    }
+
+    /// Pops the next received frame from the ring (driver, at interrupt
+    /// level).
+    pub fn rx_pop(&self) -> Option<Vec<u8>> {
+        self.rx_ring.lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{SleepRecord, Sim};
+
+    fn pair(sim: &Arc<Sim>) -> (Arc<Machine>, Arc<Nic>, Arc<Machine>, Arc<Nic>) {
+        let ma = Machine::new(sim, "a", 4096);
+        let mb = Machine::new(sim, "b", 4096);
+        let na = Nic::new(&ma, [2, 0, 0, 0, 0, 1]);
+        let nb = Nic::new(&mb, [2, 0, 0, 0, 0, 2]);
+        Nic::connect(&na, &nb);
+        (ma, na, mb, nb)
+    }
+
+    #[test]
+    fn frame_crosses_the_wire_and_raises_irq() {
+        let sim = Sim::new();
+        let (_ma, na, mb, nb) = pair(&sim);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = Arc::clone(&got);
+        let nb2 = Arc::clone(&nb);
+        mb.irq.install(nb.irq_line(), move |_| {
+            while let Some(f) = nb2.rx_pop() {
+                g2.lock().push(f);
+            }
+        });
+        mb.irq.enable();
+        let s2 = Arc::clone(&sim);
+        let na2 = Arc::clone(&na);
+        sim.spawn("tx", move || {
+            na2.transmit(&[0xAA; 100]);
+            let done = Arc::new(SleepRecord::new());
+            let _ = done.wait_timeout(&s2, 1_000_000);
+        });
+        sim.run();
+        let got = got.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], vec![0xAA; 100]);
+    }
+
+    #[test]
+    fn serialization_time_matches_100mbps() {
+        let cfg = WireConfig::default();
+        // A 1514-byte frame: (1514+24)*8 bits at 100 Mbps = 123.04 µs.
+        assert_eq!(cfg.serialize_ns(1514), 123_040);
+        // Short frames are padded to the 60-byte minimum.
+        assert_eq!(cfg.serialize_ns(1), cfg.serialize_ns(60));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_the_wire() {
+        let sim = Sim::new();
+        let (_ma, na, mb, nb) = pair(&sim);
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t2 = Arc::clone(&times);
+        let nb2 = Arc::clone(&nb);
+        let mb2 = Arc::clone(&mb);
+        mb.irq.install(nb.irq_line(), move |_| {
+            while nb2.rx_pop().is_some() {
+                t2.lock().push(mb2.sim.now());
+            }
+        });
+        mb.irq.enable();
+        let s2 = Arc::clone(&sim);
+        let na2 = Arc::clone(&na);
+        sim.spawn("tx", move || {
+            na2.transmit(&[0; 1514]);
+            na2.transmit(&[0; 1514]);
+            let done = Arc::new(SleepRecord::new());
+            let _ = done.wait_timeout(&s2, 10_000_000);
+        });
+        sim.run();
+        let times = times.lock();
+        assert_eq!(times.len(), 2);
+        // Second frame arrives one serialization time after the first.
+        assert_eq!(times[1] - times[0], WireConfig::default().serialize_ns(1514));
+    }
+
+    #[test]
+    fn rx_ring_overflow_drops() {
+        let sim = Sim::new();
+        let (_ma, na, mb, nb) = pair(&sim);
+        // No handler installed and interrupts disabled on b: ring fills.
+        let _ = mb;
+        let s2 = Arc::clone(&sim);
+        let na2 = Arc::clone(&na);
+        sim.spawn("tx", move || {
+            for _ in 0..100 {
+                na2.transmit(&[0; 64]);
+            }
+            let done = Arc::new(SleepRecord::new());
+            let _ = done.wait_timeout(&s2, 100_000_000);
+        });
+        sim.run();
+        assert_eq!(nb.rx_dropped(), 36); // 100 - 64 ring slots.
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MTU")]
+    fn oversized_frame_is_rejected() {
+        let sim = Sim::new();
+        let (_ma, na, _mb, _nb) = pair(&sim);
+        na.transmit(&[0; 2000]);
+    }
+
+    #[test]
+    fn unconnected_nic_drops_silently() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "solo", 4096);
+        let n = Nic::new(&m, [2, 0, 0, 0, 0, 9]);
+        n.transmit(&[1, 2, 3, 4]); // Must not panic.
+    }
+}

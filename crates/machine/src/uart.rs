@@ -1,0 +1,141 @@
+//! A 16550-style serial port.
+//!
+//! Carries the console and the GDB remote-debugging byte stream (paper
+//! §3.5: "a serial-line stub for the GNU debugger ... communicates over a
+//! serial line with GDB running on another machine").  The "other end" of
+//! the line is the host test harness, which injects and drains bytes.
+
+use crate::irq::lines;
+use crate::machine::Machine;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+
+/// The serial port device.
+pub struct Uart {
+    machine: Weak<Machine>,
+    irq_line: u8,
+    tx: Mutex<Vec<u8>>,
+    rx: Mutex<VecDeque<u8>>,
+    echo_to_host: Mutex<bool>,
+}
+
+impl Uart {
+    /// Attaches a UART on COM1 (IRQ 4).
+    pub fn new(machine: &Arc<Machine>) -> Arc<Uart> {
+        Arc::new(Uart {
+            machine: Arc::downgrade(machine),
+            irq_line: lines::COM1,
+            tx: Mutex::new(Vec::new()),
+            rx: Mutex::new(VecDeque::new()),
+            echo_to_host: Mutex::new(false),
+        })
+    }
+
+    /// The IRQ line this UART raises on received data.
+    pub fn irq_line(&self) -> u8 {
+        self.irq_line
+    }
+
+    /// Mirrors transmitted bytes to the host's stdout (useful when running
+    /// the examples interactively).
+    pub fn set_echo_to_host(&self, on: bool) {
+        *self.echo_to_host.lock() = on;
+    }
+
+    // --- Guest side (the kernel's end of the port) ---
+
+    /// Transmits one byte (guest → host).
+    pub fn putc(&self, byte: u8) {
+        self.tx.lock().push(byte);
+        if *self.echo_to_host.lock() {
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(&[byte]);
+            let _ = std::io::stdout().flush();
+        }
+    }
+
+    /// Transmits a buffer (guest → host).
+    pub fn write(&self, bytes: &[u8]) {
+        for &b in bytes {
+            self.putc(b);
+        }
+    }
+
+    /// Receives one byte if available (guest ← host).
+    pub fn getc(&self) -> Option<u8> {
+        self.rx.lock().pop_front()
+    }
+
+    /// Returns whether receive data is available.
+    pub fn rx_ready(&self) -> bool {
+        !self.rx.lock().is_empty()
+    }
+
+    // --- Host side (the test harness / remote GDB's end) ---
+
+    /// Injects bytes as if received on the line, raising the UART IRQ.
+    pub fn host_inject(&self, bytes: &[u8]) {
+        self.rx.lock().extend(bytes.iter().copied());
+        if let Some(m) = self.machine.upgrade() {
+            m.irq.raise(self.irq_line);
+        }
+    }
+
+    /// Drains everything the guest has transmitted so far.
+    pub fn host_drain(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.tx.lock())
+    }
+
+    /// Peeks at the transmitted bytes without draining.
+    pub fn host_peek(&self) -> Vec<u8> {
+        self.tx.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Sim;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn guest_output_reaches_host() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "m", 4096);
+        let uart = Uart::new(&m);
+        uart.write(b"Hello World\n");
+        assert_eq!(uart.host_drain(), b"Hello World\n");
+        assert!(uart.host_drain().is_empty());
+    }
+
+    #[test]
+    fn host_inject_raises_irq_when_enabled() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "m", 4096);
+        let uart = Uart::new(&m);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        m.irq.install(uart.irq_line(), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        m.irq.enable();
+        uart.host_inject(b"ab");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(uart.getc(), Some(b'a'));
+        assert_eq!(uart.getc(), Some(b'b'));
+        assert_eq!(uart.getc(), None);
+    }
+
+    #[test]
+    fn rx_ready_tracks_queue() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "m", 4096);
+        let uart = Uart::new(&m);
+        assert!(!uart.rx_ready());
+        uart.host_inject(b"x");
+        assert!(uart.rx_ready());
+        uart.getc();
+        assert!(!uart.rx_ready());
+    }
+}

@@ -1,0 +1,268 @@
+//! The buffer cache — NetBSD's `bread`/`bwrite`/`bdwrite` in donor idiom.
+//!
+//! Caches file system blocks over any `oskit_blkio` device.  Writes are
+//! delayed (`bdwrite`) and flushed by `sync`, as in the donor; an LRU
+//! bound evicts clean buffers and writes back dirty ones.
+
+use super::ondisk::BLOCK_SIZE;
+use oskit_com::interfaces::blkio::BlkIo;
+use oskit_com::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Buf {
+    data: Vec<u8>,
+    dirty: bool,
+    /// LRU stamp.
+    used: u64,
+}
+
+struct CacheState {
+    bufs: HashMap<u32, Buf>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The buffer cache.
+pub struct BufCache {
+    dev: Arc<dyn BlkIo>,
+    max_bufs: usize,
+    state: Mutex<CacheState>,
+}
+
+impl BufCache {
+    /// Wraps a device with an `max_bufs`-block cache.
+    pub fn new(dev: Arc<dyn BlkIo>, max_bufs: usize) -> BufCache {
+        BufCache {
+            dev,
+            max_bufs: max_bufs.max(4),
+            state: Mutex::new(CacheState {
+                bufs: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// `bread`: runs `f` over the (read-only) contents of block `blkno`.
+    pub fn bread<R>(&self, blkno: u32, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.with_buf(blkno, |data| f(data))
+    }
+
+    /// `bdwrite` after modification: runs `f` over the mutable contents
+    /// and marks the block dirty (delayed write).
+    pub fn bmodify<R>(&self, blkno: u32, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let r = self.with_buf_mut(blkno, f)?;
+        Ok(r)
+    }
+
+    /// Overwrites a whole block without reading it first (`getblk` for
+    /// full-block writes).
+    pub fn bwrite_full(&self, blkno: u32, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), BLOCK_SIZE);
+        self.evict_if_needed()?;
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.bufs.insert(
+            blkno,
+            Buf {
+                data: data.to_vec(),
+                dirty: true,
+                used: tick,
+            },
+        );
+        Ok(())
+    }
+
+    fn with_buf<R>(&self, blkno: u32, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.fill(blkno)?;
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let buf = st.bufs.get_mut(&blkno).expect("just filled");
+        buf.used = tick;
+        Ok(f(&buf.data))
+    }
+
+    fn with_buf_mut<R>(&self, blkno: u32, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        self.fill(blkno)?;
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let buf = st.bufs.get_mut(&blkno).expect("just filled");
+        buf.used = tick;
+        buf.dirty = true;
+        Ok(f(&mut buf.data))
+    }
+
+    /// Ensures `blkno` is resident.  Never holds the state lock across
+    /// device I/O (which may block at process level).
+    fn fill(&self, blkno: u32) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            if st.bufs.contains_key(&blkno) {
+                st.hits += 1;
+                return Ok(());
+            }
+            st.misses += 1;
+        }
+        self.evict_if_needed()?;
+        let mut data = vec![0u8; BLOCK_SIZE];
+        let n = self
+            .dev
+            .read(&mut data, u64::from(blkno) * BLOCK_SIZE as u64)?;
+        if n != BLOCK_SIZE {
+            return Err(Error::Io);
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.bufs.entry(blkno).or_insert(Buf {
+            data,
+            dirty: false,
+            used: tick,
+        });
+        Ok(())
+    }
+
+    fn evict_if_needed(&self) -> Result<()> {
+        loop {
+            let victim = {
+                let st = self.state.lock();
+                if st.bufs.len() < self.max_bufs {
+                    return Ok(());
+                }
+                // Oldest buffer.
+                st.bufs
+                    .iter()
+                    .min_by_key(|(_, b)| b.used)
+                    .map(|(&k, b)| (k, b.dirty, b.data.clone()))
+            };
+            let Some((blkno, dirty, data)) = victim else {
+                return Ok(());
+            };
+            if dirty {
+                self.dev
+                    .write(&data, u64::from(blkno) * BLOCK_SIZE as u64)?;
+            }
+            let mut st = self.state.lock();
+            // Only remove if unchanged since we looked (no interleaving
+            // can occur under the component lock, but be precise).
+            if let Some(b) = st.bufs.get(&blkno) {
+                if !b.dirty || dirty {
+                    st.bufs.remove(&blkno);
+                }
+            }
+        }
+    }
+
+    /// `sync`: writes every dirty buffer back.
+    pub fn sync(&self) -> Result<()> {
+        let dirty: Vec<(u32, Vec<u8>)> = {
+            let st = self.state.lock();
+            st.bufs
+                .iter()
+                .filter(|(_, b)| b.dirty)
+                .map(|(&k, b)| (k, b.data.clone()))
+                .collect()
+        };
+        for (blkno, data) in dirty {
+            self.dev
+                .write(&data, u64::from(blkno) * BLOCK_SIZE as u64)?;
+            if let Some(b) = self.state.lock().bufs.get_mut(&blkno) {
+                b.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cache statistics: (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.hits, st.misses)
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<dyn BlkIo> {
+        &self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskit_com::interfaces::blkio::VecBufIo;
+
+    fn ram_dev(blocks: usize) -> Arc<dyn BlkIo> {
+        VecBufIo::with_len(blocks * BLOCK_SIZE) as Arc<dyn BlkIo>
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let cache = BufCache::new(ram_dev(16), 8);
+        cache
+            .bmodify(3, |b| b[0..4].copy_from_slice(b"OFS!"))
+            .unwrap();
+        let tag = cache.bread(3, |b| b[0..4].to_vec()).unwrap();
+        assert_eq!(tag, b"OFS!");
+    }
+
+    #[test]
+    fn dirty_blocks_reach_device_only_on_sync() {
+        let dev = ram_dev(16);
+        let cache = BufCache::new(Arc::clone(&dev), 8);
+        cache.bmodify(2, |b| b[0] = 0xEE).unwrap();
+        let mut probe = [0u8; 1];
+        dev.read(&mut probe, 2 * BLOCK_SIZE as u64).unwrap();
+        assert_eq!(probe[0], 0, "write must be delayed");
+        cache.sync().unwrap();
+        dev.read(&mut probe, 2 * BLOCK_SIZE as u64).unwrap();
+        assert_eq!(probe[0], 0xEE);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_buffers() {
+        let dev = ram_dev(64);
+        let cache = BufCache::new(Arc::clone(&dev), 4);
+        cache.bmodify(0, |b| b[0] = 1).unwrap();
+        // Touch enough other blocks to evict block 0.
+        for blk in 1..10 {
+            cache.bread(blk, |_| ()).unwrap();
+        }
+        let mut probe = [0u8; 1];
+        dev.read(&mut probe, 0).unwrap();
+        assert_eq!(probe[0], 1, "eviction must write back");
+        // And reading it again still yields the data.
+        assert_eq!(cache.bread(0, |b| b[0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn cache_hits_avoid_device_reads() {
+        let cache = BufCache::new(ram_dev(16), 8);
+        cache.bread(5, |_| ()).unwrap();
+        cache.bread(5, |_| ()).unwrap();
+        cache.bread(5, |_| ()).unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn bwrite_full_replaces_without_read() {
+        let cache = BufCache::new(ram_dev(16), 8);
+        cache.bwrite_full(7, &vec![0xAB; BLOCK_SIZE]).unwrap();
+        assert_eq!(cache.bread(7, |b| b[100]).unwrap(), 0xAB);
+        let (_, misses) = cache.stats();
+        assert_eq!(misses, 0, "full write must not read the device");
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let cache = BufCache::new(ram_dev(4), 8);
+        assert!(cache.bread(100, |_| ()).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! The documented execution models (paper §4.5).
+//!
+//! "The OSKit documentation specifies several basic execution models of
+//! varying complexity, ranging from an extremely simple concurrency model
+//! in which the component makes almost no assumptions about its
+//! environment, to the most complex model in which components must be
+//! aware of and have some control over various concurrency issues such as
+//! blocking, preemption, and interrupts.  All of the OSKit's components
+//! conform to one of these documented execution models."
+//!
+//! Components in this reproduction declare their model so clients (and the
+//! structure dump) can check recipe compatibility.
+
+/// The execution model a component conforms to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecModel {
+    /// Pure functions over caller-supplied state; no environment
+    /// assumptions at all (e.g. the LMM and AMM, `strcpy`-class code).
+    Pure,
+    /// Single-threaded non-blocking: may keep internal state, never blocks
+    /// and never expects interrupts (e.g. disk partition parsing).
+    NonBlocking,
+    /// The classic two-level *blocking model* of §4.7.4: process level may
+    /// block on sleep records; interrupt level runs to completion.  Used
+    /// by all encapsulated donor components.
+    Blocking,
+    /// Blocking model plus awareness of interrupt enable/disable for its
+    /// own critical sections (device drivers).
+    InterruptAware,
+}
+
+impl ExecModel {
+    /// Whether a component with this model may call a blocking service.
+    pub fn may_block(self) -> bool {
+        matches!(self, ExecModel::Blocking | ExecModel::InterruptAware)
+    }
+
+    /// Whether the client must provide interrupt control to host this
+    /// component.
+    pub fn needs_interrupts(self) -> bool {
+        matches!(self, ExecModel::InterruptAware)
+    }
+
+    /// The recipe text for hosting this component in a multithreaded
+    /// client (paper §6.2.7).
+    pub fn recipe(self) -> &'static str {
+        match self {
+            ExecModel::Pure => "call from any context; no wrapping needed",
+            ExecModel::NonBlocking => "serialize calls or give each thread its own instance",
+            ExecModel::Blocking => {
+                "take a component-wide lock around entry; release it across \
+                 blocking calls back to the client (ProcessLock::unlocked)"
+            }
+            ExecModel::InterruptAware => {
+                "as for the blocking model, plus route osenv interrupt \
+                 enable/disable to a real interrupt mask or its moral \
+                 equivalent"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_capabilities() {
+        assert!(!ExecModel::Pure.may_block());
+        assert!(!ExecModel::NonBlocking.may_block());
+        assert!(ExecModel::Blocking.may_block());
+        assert!(ExecModel::InterruptAware.may_block());
+        assert!(ExecModel::InterruptAware.needs_interrupts());
+        assert!(!ExecModel::Blocking.needs_interrupts());
+    }
+
+    #[test]
+    fn every_model_has_a_recipe() {
+        for m in [
+            ExecModel::Pure,
+            ExecModel::NonBlocking,
+            ExecModel::Blocking,
+            ExecModel::InterruptAware,
+        ] {
+            assert!(!m.recipe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! langos — a language runtime directly on the (simulated) hardware: the
+//! Java/PC case study of paper §6.1.4, in miniature.
+//!
+//! "Building Java/PC atop the OSKit was remarkably easy ... Whereas almost
+//! all components in our system reuse existing C-based components provided
+//! by the OSKit, Sun's was primarily written anew in Java."
+//!
+//! LangOS is a small stack-bytecode virtual machine booted as a kernel:
+//!
+//! * its program arrives as a **boot module** (§6.2.2 — "Java/PC loads its
+//!   Java bytecode from the initial boot module file system");
+//! * it provides its **own green threads**, preempted by the machine's
+//!   timer interrupt (§6.2.3 — "the absence of an OS-defined process or
+//!   thread abstraction proved of great benefit");
+//! * its syscalls land on the kit's POSIX layer and sockets, so `langos
+//!   ttcp` reproduces the §6.2.6 measurement: network throughput through a
+//!   language runtime, receive faster than send.
+//!
+//! Run with: `cargo run --release --example langos [ttcp]`
+
+use oskit::clib::fargs;
+use oskit::machine::{Nic, Sim};
+use oskit::{Kernel, KernelBuilder};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+// --- The bytecode ---
+
+/// LangOS opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum Op {
+    /// Push the following i32 literal.
+    Push = 1,
+    /// Duplicate the top of stack.
+    Dup = 2,
+    /// Discard the top of stack.
+    Pop = 3,
+    /// a b -- a+b
+    Add = 4,
+    /// a b -- a-b
+    Sub = 5,
+    /// a b -- a*b
+    Mul = 6,
+    /// a b -- (a<b)
+    Lt = 7,
+    /// Unconditional jump to the following u16 address.
+    Jmp = 8,
+    /// Pop; jump if zero.
+    Jz = 9,
+    /// Load global #u8.
+    LoadG = 10,
+    /// Store global #u8.
+    StoreG = 11,
+    /// System call #u8 (see `sys` below).
+    Sys = 12,
+    /// Stop this thread.
+    Halt = 13,
+    /// a b -- b a
+    Swap = 14,
+}
+
+/// Syscall numbers.
+mod sys {
+    /// Print the i32 on top of the stack.
+    pub const PRINT_INT: u8 = 0;
+    /// Print string #u8-on-stack from the string table.
+    pub const PRINT_STR: u8 = 1;
+    /// Spawn a green thread at the pc on top of the stack.
+    pub const SPAWN: u8 = 2;
+    /// Yield the processor.
+    pub const YIELD: u8 = 3;
+    /// Push the current thread id.
+    pub const SELF_ID: u8 = 4;
+    /// Pop n: send n bytes on the benchmark socket; push bytes sent.
+    pub const NET_SEND: u8 = 5;
+    /// Pop n: receive up to n bytes; push bytes received (0 = EOF).
+    pub const NET_RECV: u8 = 6;
+}
+
+/// A LangOS program image: bytecode plus a string table, serialized into
+/// the boot module.
+struct Image {
+    code: Vec<u8>,
+    strings: Vec<String>,
+}
+
+impl Image {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = b"LOS1".to_vec();
+        out.extend_from_slice(&(self.code.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.code);
+        out.push(self.strings.len() as u8);
+        for s in &self.strings {
+            out.push(s.len() as u8);
+            out.extend_from_slice(s.as_bytes());
+        }
+        out
+    }
+
+    fn decode(b: &[u8]) -> Image {
+        assert_eq!(&b[0..4], b"LOS1", "not a LangOS image");
+        let code_len = u32::from_le_bytes([b[4], b[5], b[6], b[7]]) as usize;
+        let code = b[8..8 + code_len].to_vec();
+        let mut at = 8 + code_len;
+        let nstr = b[at] as usize;
+        at += 1;
+        let mut strings = Vec::new();
+        for _ in 0..nstr {
+            let len = b[at] as usize;
+            at += 1;
+            strings.push(String::from_utf8_lossy(&b[at..at + len]).into_owned());
+            at += len;
+        }
+        Image { code, strings }
+    }
+}
+
+/// A tiny assembler so the demo programs stay readable.
+struct Asm {
+    code: Vec<u8>,
+    strings: Vec<String>,
+    labels: std::collections::HashMap<&'static str, u16>,
+    fixups: Vec<(usize, &'static str)>,
+}
+
+impl Asm {
+    fn new() -> Asm {
+        Asm {
+            code: Vec::new(),
+            strings: Vec::new(),
+            labels: std::collections::HashMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+    fn label(&mut self, name: &'static str) -> &mut Self {
+        self.labels.insert(name, self.code.len() as u16);
+        self
+    }
+    fn op(&mut self, op: Op) -> &mut Self {
+        self.code.push(op as u8);
+        self
+    }
+    fn push(&mut self, v: i32) -> &mut Self {
+        self.code.push(Op::Push as u8);
+        self.code.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    fn jmp(&mut self, op: Op, target: &'static str) -> &mut Self {
+        self.code.push(op as u8);
+        self.fixups.push((self.code.len(), target));
+        self.code.extend_from_slice(&0u16.to_le_bytes());
+        self
+    }
+    fn sysc(&mut self, n: u8) -> &mut Self {
+        self.code.push(Op::Sys as u8);
+        self.code.push(n);
+        self
+    }
+    fn loadg(&mut self, g: u8) -> &mut Self {
+        self.code.push(Op::LoadG as u8);
+        self.code.push(g);
+        self
+    }
+    fn storeg(&mut self, g: u8) -> &mut Self {
+        self.code.push(Op::StoreG as u8);
+        self.code.push(g);
+        self
+    }
+    fn string(&mut self, s: &str) -> i32 {
+        self.strings.push(s.to_string());
+        (self.strings.len() - 1) as i32
+    }
+    fn finish(mut self) -> Image {
+        for (at, name) in self.fixups {
+            let target = self.labels[name];
+            self.code[at..at + 2].copy_from_slice(&target.to_le_bytes());
+        }
+        Image {
+            code: self.code,
+            strings: self.strings,
+        }
+    }
+}
+
+// --- The virtual machine ---
+
+/// One green thread.
+struct Vcpu {
+    pc: usize,
+    stack: Vec<i32>,
+    halted: bool,
+}
+
+/// The runtime: interpreter plus the host (kit) services it uses.
+struct LangVm<'k> {
+    image: Image,
+    threads: Vec<Vcpu>,
+    globals: [i32; 16],
+    kernel: &'k Kernel,
+    /// Set by the timer interrupt; checked between instructions — the
+    /// language's own preemption, built directly on the hardware timer.
+    preempt: Arc<AtomicBool>,
+    /// The benchmark socket fd, when networking is up.
+    net_fd: Option<i32>,
+    net_buf: Vec<u8>,
+}
+
+impl<'k> LangVm<'k> {
+    fn new(kernel: &'k Kernel, image: Image) -> LangVm<'k> {
+        let preempt = Arc::new(AtomicBool::new(false));
+        let p2 = Arc::clone(&preempt);
+        kernel
+            .machine
+            .irq
+            .install(kernel.base.timer.irq_line(), move |_| {
+                p2.store(true, Ordering::Relaxed);
+            });
+        kernel.base.timer.arm(10_000_000); // 10 ms quantum.
+        LangVm {
+            image,
+            threads: vec![Vcpu {
+                pc: 0,
+                stack: Vec::new(),
+                halted: false,
+            }],
+            globals: [0; 16],
+            kernel,
+            preempt,
+            net_fd: None,
+            net_buf: vec![0x6C; 65536],
+        }
+    }
+
+    /// Runs all threads to completion (round-robin, timer-preempted).
+    fn run(&mut self) {
+        let mut current = 0;
+        let mut since_poll = 0u32;
+        while self.threads.iter().any(|t| !t.halted) {
+            if self.threads[current].halted {
+                current = (current + 1) % self.threads.len();
+                continue;
+            }
+            // Execute until preempted, yielded, or halted.
+            loop {
+                if self.threads[current].halted {
+                    break;
+                }
+                let yielded = self.step(current);
+                // Each interpreted instruction costs ~50 cycles of the
+                // 200 MHz CPU — the interpretation tax Java/PC paid.
+                self.kernel.machine.advance(250);
+                since_poll += 1;
+                if since_poll >= 256 {
+                    // Interrupt-check point: let the machine deliver the
+                    // timer tick (and anything else) that accumulated.
+                    since_poll = 0;
+                    self.kernel.sim.relax();
+                }
+                if yielded || self.preempt.swap(false, Ordering::Relaxed) {
+                    break;
+                }
+            }
+            current = (current + 1) % self.threads.len();
+        }
+    }
+
+    /// Executes one instruction of thread `t`; returns true on yield.
+    fn step(&mut self, t: usize) -> bool {
+        let code = &self.image.code;
+        let vcpu = &mut self.threads[t];
+        if vcpu.pc >= code.len() {
+            vcpu.halted = true;
+            return false;
+        }
+        let op = code[vcpu.pc];
+        vcpu.pc += 1;
+        match op {
+            x if x == Op::Push as u8 => {
+                let v =
+                    i32::from_le_bytes(code[vcpu.pc..vcpu.pc + 4].try_into().expect("imm"));
+                vcpu.pc += 4;
+                vcpu.stack.push(v);
+            }
+            x if x == Op::Dup as u8 => {
+                let v = *vcpu.stack.last().expect("dup on empty stack");
+                vcpu.stack.push(v);
+            }
+            x if x == Op::Swap as u8 => {
+                let n = vcpu.stack.len();
+                vcpu.stack.swap(n - 1, n - 2);
+            }
+            x if x == Op::Pop as u8 => {
+                vcpu.stack.pop();
+            }
+            x if x == Op::Add as u8 => bin(vcpu, |a, b| a.wrapping_add(b)),
+            x if x == Op::Sub as u8 => bin(vcpu, |a, b| a.wrapping_sub(b)),
+            x if x == Op::Mul as u8 => bin(vcpu, |a, b| a.wrapping_mul(b)),
+            x if x == Op::Lt as u8 => bin(vcpu, |a, b| i32::from(a < b)),
+            x if x == Op::Jmp as u8 => {
+                vcpu.pc = u16::from_le_bytes([code[vcpu.pc], code[vcpu.pc + 1]]) as usize;
+            }
+            x if x == Op::Jz as u8 => {
+                let target = u16::from_le_bytes([code[vcpu.pc], code[vcpu.pc + 1]]) as usize;
+                vcpu.pc += 2;
+                if vcpu.stack.pop().expect("jz") == 0 {
+                    vcpu.pc = target;
+                }
+            }
+            x if x == Op::LoadG as u8 => {
+                let g = code[vcpu.pc] as usize;
+                vcpu.pc += 1;
+                vcpu.stack.push(self.globals[g]);
+            }
+            x if x == Op::StoreG as u8 => {
+                let g = code[vcpu.pc] as usize;
+                vcpu.pc += 1;
+                self.globals[g] = vcpu.stack.pop().expect("storeg");
+            }
+            x if x == Op::Halt as u8 => {
+                vcpu.halted = true;
+            }
+            x if x == Op::Sys as u8 => {
+                let n = code[vcpu.pc];
+                vcpu.pc += 1;
+                return self.syscall(t, n);
+            }
+            other => panic!("illegal opcode {other} at {}", vcpu.pc - 1),
+        }
+        false
+    }
+
+    fn syscall(&mut self, t: usize, n: u8) -> bool {
+        match n {
+            sys::PRINT_INT => {
+                let v = self.threads[t].stack.pop().expect("print");
+                self.kernel.printf("%d\n", fargs![v]);
+            }
+            sys::PRINT_STR => {
+                let i = self.threads[t].stack.pop().expect("prints") as usize;
+                let s = self.image.strings[i].clone();
+                self.kernel.printf("%s", fargs![s]);
+            }
+            sys::SPAWN => {
+                let pc = self.threads[t].stack.pop().expect("spawn") as usize;
+                self.threads.push(Vcpu {
+                    pc,
+                    stack: Vec::new(),
+                    halted: false,
+                });
+            }
+            sys::YIELD => return true,
+            sys::SELF_ID => self.threads[t].stack.push(t as i32),
+            sys::NET_SEND => {
+                let want = self.threads[t].stack.pop().expect("send") as usize;
+                let fd = self.net_fd.expect("networking not initialized");
+                let n = want.min(self.net_buf.len());
+                let mut sent = 0;
+                while sent < n {
+                    sent += self
+                        .kernel
+                        .posix
+                        .send(fd, &self.net_buf[sent..n])
+                        .expect("net send");
+                }
+                self.threads[t].stack.push(sent as i32);
+            }
+            sys::NET_RECV => {
+                let want = self.threads[t].stack.pop().expect("recv") as usize;
+                let fd = self.net_fd.expect("networking not initialized");
+                let n = want.min(self.net_buf.len());
+                let got = {
+                    let buf = &mut self.net_buf[..n];
+                    self.kernel.posix.recv(fd, buf).expect("net recv")
+                };
+                self.threads[t].stack.push(got as i32);
+            }
+            other => panic!("bad syscall {other}"),
+        }
+        false
+    }
+}
+
+fn bin(vcpu: &mut Vcpu, f: impl Fn(i32, i32) -> i32) {
+    let b = vcpu.stack.pop().expect("binop");
+    let a = vcpu.stack.pop().expect("binop");
+    vcpu.stack.push(f(a, b));
+}
+
+// --- Demo programs ---
+
+/// The multithreaded demo: main spawns three workers; each prints its id
+/// and a triangular-number result, interleaved by preemption.
+fn demo_program() -> Image {
+    let mut a = Asm::new();
+    let banner = a.string("LangOS: a language runtime on the bare (simulated) metal\n");
+    let worker_says = a.string("worker ");
+    let computes = a.string(" computed: ");
+    a.push(banner).sysc(sys::PRINT_STR);
+    a.finish_main_with_workers(worker_says, computes)
+}
+
+impl Asm {
+    /// Emits the spawn-3-workers main and the worker body (kept here so
+    /// the demo stays one readable unit).
+    fn finish_main_with_workers(mut self, worker_says: i32, computes: i32) -> Image {
+        // main: spawn 3 workers at "worker", then halt.
+        for _ in 0..3 {
+            // Push the worker entry address (fixed up at finish).
+            self.code.push(Op::Push as u8);
+            self.fixups.push((self.code.len(), "worker"));
+            self.code.extend_from_slice(&0u16.to_le_bytes());
+            self.code.extend_from_slice(&[0, 0]); // High bytes of the i32.
+            self.code.push(Op::Sys as u8);
+            self.code.push(sys::SPAWN);
+        }
+        self.op(Op::Halt);
+        // worker: id = self; sum = 0; for i in 0..=(id+1)*100 { sum += i }
+        self.label("worker");
+        self.sysc(sys::SELF_ID); // [id]
+        self.op(Op::Dup);
+        self.push(worker_says).sysc(sys::PRINT_STR);
+        self.sysc(sys::PRINT_INT); // Prints id, leaves [id].
+        self.sysc(sys::SELF_ID);
+        self.push(1).op(Op::Add); // [n] where n = id+1.
+        self.push(100).op(Op::Mul); // [limit]
+        self.push(0).storeg(0); // sum = 0 (per-thread safety irrelevant: demo).
+        self.push(0).storeg(1); // i = 0.
+        self.label("loop");
+        self.loadg(1).op(Op::Dup); // [limit, i, i]
+        // stack juggling: compare i < limit without locals: [limit,i,i]
+        // Keep simple: globals carry the state; limit goes to g2.
+        self.op(Op::Pop).op(Op::Pop); // Drop dup'd i; stack back to [limit].
+        self.storeg(2); // g2 = limit (stored each outer pass; fine).
+        self.loadg(1).loadg(2).op(Op::Lt); // [i < limit]
+        self.jmp(Op::Jz, "done");
+        self.loadg(0).loadg(1).op(Op::Add).storeg(0); // sum += i.
+        self.loadg(1).push(1).op(Op::Add).storeg(1); // i += 1.
+        self.loadg(2); // Restore limit for the next pass.
+        self.jmp(Op::Jmp, "loop");
+        self.label("done");
+        self.sysc(sys::SELF_ID);
+        self.push(worker_says).sysc(sys::PRINT_STR);
+        self.sysc(sys::PRINT_INT);
+        self.push(computes).sysc(sys::PRINT_STR);
+        self.loadg(0).sysc(sys::PRINT_INT);
+        self.op(Op::Halt);
+        self.finish()
+    }
+}
+
+/// The §6.2.6 benchmark program: a VM loop pushing (or pulling) bytes
+/// through the socket syscalls.
+fn ttcp_program(send: bool, bytes: i32) -> Image {
+    let mut a = Asm::new();
+    let tag = a.string(if send {
+        "langos ttcp: sending\n"
+    } else {
+        "langos ttcp: receiving\n"
+    });
+    a.push(tag).sysc(sys::PRINT_STR);
+    a.push(bytes).storeg(0); // Remaining.
+    a.label("loop");
+    a.loadg(0).push(0).op(Op::Lt); // remaining < 0? (done)
+    a.jmp(Op::Jz, "work");
+    a.jmp(Op::Jmp, "end");
+    a.label("work");
+    a.push(16384);
+    a.sysc(if send { sys::NET_SEND } else { sys::NET_RECV }); // [n]
+    a.op(Op::Dup);
+    a.jmp(Op::Jz, "end"); // 0 bytes = EOF.
+    a.loadg(0).op(Op::Swap).op(Op::Sub).storeg(0); // remaining -= n.
+    a.jmp(Op::Jmp, "loop");
+    a.label("end");
+    a.op(Op::Pop);
+    a.op(Op::Halt);
+    a.finish()
+}
+
+// --- Kernel entry points ---
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    if mode == "ttcp" {
+        run_ttcp();
+    } else {
+        run_demo();
+    }
+}
+
+fn run_demo() {
+    let sim = Sim::new();
+    // The program rides in as a boot module, like Java/PC's .class files.
+    let (kernel, _, _) = KernelBuilder::new("langos")
+        .module("program.los", demo_program().encode())
+        .boot(&sim);
+    kernel.base.uart.set_echo_to_host(true);
+    let k = Arc::clone(&kernel);
+    sim.spawn("langos", move || {
+        let fd = k
+            .posix
+            .open("/program.los", oskit::clib::OpenFlags::RDONLY, 0)
+            .expect("program boot module");
+        let mut image = vec![0u8; 65536];
+        let n = k.posix.read(fd, &mut image).expect("read");
+        image.truncate(n);
+        let mut vm = LangVm::new(&k, Image::decode(&image));
+        vm.run();
+        k.printf("langos: all threads done\n", fargs![]);
+    });
+    sim.run();
+}
+
+/// §6.2.6: TCP throughput with the language runtime in the loop — receive
+/// outruns send, as Java/PC's 78 vs 59 Mbps did.
+fn run_ttcp() {
+    use oskit::com::interfaces::socket::{Domain, SockAddr, SockType};
+    const TOTAL: i32 = 8 * 1024 * 1024;
+    let sim = Sim::new();
+    let (ka, nics_a, _) = KernelBuilder::new("langos-a")
+        .nic([2, 0, 0, 0, 0, 1])
+        .module("send.los", ttcp_program(true, TOTAL).encode())
+        .boot(&sim);
+    let (kb, nics_b, _) = KernelBuilder::new("langos-b")
+        .nic([2, 0, 0, 0, 0, 2])
+        .module("recv.los", ttcp_program(false, TOTAL).encode())
+        .boot(&sim);
+    Nic::connect(&nics_a[0], &nics_b[0]);
+    ka.init_networking(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(255, 255, 255, 0));
+    kb.init_networking(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(255, 255, 255, 0));
+    ka.base.uart.set_echo_to_host(true);
+    kb.base.uart.set_echo_to_host(true);
+
+    let recv_done_at = Arc::new(std::sync::Mutex::new(0u64));
+    let rda = Arc::clone(&recv_done_at);
+    let kbb = Arc::clone(&kb);
+    sim.spawn("langos-recv", move || {
+        let p = &kbb.posix;
+        let lfd = p.socket(Domain::Inet, SockType::Stream).expect("socket");
+        p.bind(lfd, SockAddr::any(5001)).expect("bind");
+        p.listen(lfd, 1).expect("listen");
+        let (fd, _) = p.accept(lfd).expect("accept");
+        let image = ttcp_program(false, TOTAL);
+        let mut vm = LangVm::new(&kbb, image);
+        vm.net_fd = Some(fd);
+        vm.run();
+        *rda.lock().unwrap() = kbb.machine.cpu_now();
+        p.shutdown(fd, oskit::com::interfaces::socket::Shutdown::Both)
+            .expect("shutdown");
+    });
+    let kaa = Arc::clone(&ka);
+    sim.spawn("langos-send", move || {
+        let p = &kaa.posix;
+        let fd = p.socket(Domain::Inet, SockType::Stream).expect("socket");
+        p.connect(fd, SockAddr::new(Ipv4Addr::new(10, 0, 0, 2), 5001))
+            .expect("connect");
+        let image = ttcp_program(true, TOTAL);
+        let mut vm = LangVm::new(&kaa, image);
+        vm.net_fd = Some(fd);
+        vm.run();
+        p.shutdown(fd, oskit::com::interfaces::socket::Shutdown::Write)
+            .expect("shutdown");
+        let mut d = [0u8; 64];
+        while p.recv(fd, &mut d).unwrap_or(0) != 0 {}
+    });
+    sim.run();
+    let elapsed = *recv_done_at.lock().unwrap();
+    let mbps = f64::from(TOTAL) * 8.0 / (elapsed as f64 / 1e9) / 1e6;
+    println!("\nlangos ttcp: {TOTAL} bytes in {:.1} ms virtual = {:.1} Mbit/s", elapsed as f64 / 1e6, mbps);
+    println!(
+        "sender copies: {} B; receiver copies: {} B — the send path pays the\n\
+         mbuf→skbuff conversion, so a language receiver outruns a language\n\
+         sender, exactly as Java/PC's 78 vs 59 Mbps (§6.2.6).",
+        ka.machine.meter.snapshot().bytes_copied,
+        kb.machine.meter.snapshot().bytes_copied
+    );
+}

@@ -1,0 +1,165 @@
+//! Network end-to-end: the §5 experiment shapes as assertions, plus
+//! cross-stack interoperability (the Linux-style stack talking standard
+//! TCP to the BSD one on the wire).
+
+use oskit::{rtcp_run, ttcp_run, ttcp_run_mixed, NetConfig};
+
+/// Table 1's receive row: the OSKit receives at FreeBSD's rate because
+/// incoming skbuffs are wrapped as mbuf clusters, never copied.
+#[test]
+fn table1_receive_parity() {
+    let bsd = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, 512, 4096);
+    let oskit = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKit, 512, 4096);
+    let ratio = oskit.mbit_s / bsd.mbit_s;
+    assert!(
+        (0.97..=1.03).contains(&ratio),
+        "receive parity broken: OSKit {:.2} vs FreeBSD {:.2}",
+        oskit.mbit_s,
+        bsd.mbit_s
+    );
+}
+
+/// Table 1's send row: the OSKit pays the mbuf→skbuff copy and lands
+/// well below FreeBSD.
+#[test]
+fn table1_send_penalty() {
+    let bsd = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, 512, 4096);
+    let oskit = ttcp_run_mixed(NetConfig::OsKit, NetConfig::FreeBsd, 512, 4096);
+    assert!(
+        oskit.mbit_s < bsd.mbit_s * 0.9,
+        "send penalty missing: OSKit {:.2} vs FreeBSD {:.2}",
+        oskit.mbit_s,
+        bsd.mbit_s
+    );
+    // The mechanism: roughly one extra copy of every payload byte.
+    assert!(oskit.sender.bytes_copied > bsd.sender.bytes_copied * 3 / 2);
+}
+
+/// Table 2: OSKit round trips cost more than FreeBSD's, and the delta is
+/// crossings, not copies.
+#[test]
+fn table2_latency_overhead() {
+    let bsd = rtcp_run(NetConfig::FreeBsd, 100);
+    let oskit = rtcp_run(NetConfig::OsKit, 100);
+    assert!(oskit.rtt_us > bsd.rtt_us + 1.0);
+    assert_eq!(bsd.client.crossings, 0);
+    assert!(oskit.client.crossings >= 100 * 4, "4+ crossings per RT");
+}
+
+/// Both directions of every configuration actually move correct data.
+#[test]
+fn all_configs_transfer_correctly() {
+    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+        let r = ttcp_run(cfg, 128, 4096);
+        assert_eq!(r.bytes, 128 * 4096);
+        assert!(r.mbit_s > 10.0, "{} too slow: {:.2}", cfg.name(), r.mbit_s);
+    }
+}
+
+/// Cross-stack interop: the Linux-idiom stack and the BSD stack speak the
+/// same wire protocol (ARP, IP, TCP with MSS options), so a mixed pair
+/// works — components from different donors cooperating, the §3.7 story
+/// taken one step further.
+#[test]
+fn linux_and_bsd_stacks_interoperate() {
+    let a = ttcp_run_mixed(NetConfig::Linux, NetConfig::FreeBsd, 256, 4096);
+    assert_eq!(a.bytes, 256 * 4096);
+    let b = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::Linux, 256, 4096);
+    assert_eq!(b.bytes, 256 * 4096);
+}
+
+/// The §6.2.6 Java/PC observation holds for any client of the OSKit
+/// configuration: receive outruns send.
+#[test]
+fn oskit_receive_beats_oskit_send() {
+    let send = ttcp_run_mixed(NetConfig::OsKit, NetConfig::FreeBsd, 512, 4096);
+    let recv = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKit, 512, 4096);
+    assert!(
+        recv.mbit_s > send.mbit_s * 1.15,
+        "recv {:.2} should clearly beat send {:.2}",
+        recv.mbit_s,
+        send.mbit_s
+    );
+}
+
+/// §5: "this C library code can be used with any protocol stack that
+/// provides these socket and socket factory interfaces" — the same POSIX
+/// application code runs unchanged over the FreeBSD stack and over the
+/// Linux-style stack, selected purely by which factory is registered.
+#[test]
+fn posix_layer_is_stack_agnostic() {
+    use oskit::com::interfaces::socket::{Domain, SockAddr, SockType, SocketFactory};
+    use oskit::linux_dev::{LinuxSocketFactory, NetDevice};
+    use oskit::machine::{Machine, Nic, Sim};
+    use oskit::osenv::OsEnv;
+    use oskit::clib::PosixIo;
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+
+    /// The application, written once against POSIX.
+    fn echo_once(server: Arc<PosixIo>, client: Arc<PosixIo>, sim: &Arc<Sim>) {
+        let s2 = Arc::clone(&server);
+        sim.spawn("server", move || {
+            let fd = s2.socket(Domain::Inet, SockType::Stream).unwrap();
+            s2.bind(fd, SockAddr::any(9000)).unwrap();
+            s2.listen(fd, 1).unwrap();
+            let (conn, _) = s2.accept(fd).unwrap();
+            let mut b = [0u8; 32];
+            let n = s2.recv(conn, &mut b).unwrap();
+            s2.send(conn, &b[..n]).unwrap();
+            s2.shutdown(conn, oskit::com::interfaces::socket::Shutdown::Write)
+                .unwrap();
+        });
+        let c2 = Arc::clone(&client);
+        sim.spawn("client", move || {
+            let fd = c2.socket(Domain::Inet, SockType::Stream).unwrap();
+            c2.connect(fd, SockAddr::new(Ipv4Addr::new(10, 0, 0, 2), 9000))
+                .unwrap();
+            c2.send(fd, b"stack agnostic").unwrap();
+            let mut b = [0u8; 32];
+            let n = c2.recv(fd, &mut b).unwrap();
+            assert_eq!(&b[..n], b"stack agnostic");
+            c2.shutdown(fd, oskit::com::interfaces::socket::Shutdown::Write)
+                .unwrap();
+            while c2.recv(fd, &mut b).unwrap() != 0 {}
+        });
+        sim.run();
+    }
+
+    // Round 1: the Linux-style stack behind the factories.
+    {
+        let sim = Sim::new();
+        let ma = Machine::new(&sim, "a", 1 << 20);
+        let mb = Machine::new(&sim, "b", 1 << 20);
+        let na = Nic::new(&ma, [2, 0, 0, 0, 0, 1]);
+        let nb = Nic::new(&mb, [2, 0, 0, 0, 0, 2]);
+        Nic::connect(&na, &nb);
+        let ea = OsEnv::new(&ma);
+        let eb = OsEnv::new(&mb);
+        let da = NetDevice::new("eth0", &ea, na);
+        let db = NetDevice::new("eth0", &eb, nb);
+        let ia = oskit::linux_dev::linux::inet::LinuxInet::attach(
+            &ea, &da, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(255, 255, 255, 0));
+        let ib = oskit::linux_dev::linux::inet::LinuxInet::attach(
+            &eb, &db, Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(255, 255, 255, 0));
+        ma.irq.enable();
+        mb.irq.enable();
+        let pa = PosixIo::new();
+        pa.set_socket_creator(LinuxSocketFactory::new(&ia) as Arc<dyn SocketFactory>);
+        let pb = PosixIo::new();
+        pb.set_socket_creator(LinuxSocketFactory::new(&ib) as Arc<dyn SocketFactory>);
+        echo_once(pb, pa, &sim);
+    }
+
+    // Round 2: the same application over the FreeBSD stack via the full
+    // kernel path (already covered elsewhere; here for the side-by-side).
+    {
+        let sim = Sim::new();
+        let (ka, nics_a, _) = oskit::KernelBuilder::new("a").nic([2, 0, 0, 0, 0, 1]).boot(&sim);
+        let (kb, nics_b, _) = oskit::KernelBuilder::new("b").nic([2, 0, 0, 0, 0, 2]).boot(&sim);
+        Nic::connect(&nics_a[0], &nics_b[0]);
+        ka.init_networking(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(255, 255, 255, 0));
+        kb.init_networking(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(255, 255, 255, 0));
+        echo_once(Arc::clone(&kb.posix), Arc::clone(&ka.posix), &sim);
+    }
+}
