@@ -5,11 +5,16 @@
 //! test with a native-FreeBSD receiver; the Receive row pairs a
 //! native-FreeBSD sender with the system under test.  Default run is
 //! 16 MB per cell; `--paper` uses the paper's full 131072×4096 B = 512 MB.
+//!
+//! `--boundaries` appends the per-boundary breakdown from the trace
+//! layer: which glue seam each copy and crossing was charged at
+//! (requires the default `trace` feature).
 
 use oskit::{ttcp_run_mixed, NetConfig};
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
+    let boundaries = std::env::args().any(|a| a == "--boundaries");
     let blocks = if paper { 131_072 } else { 4096 };
     let bs = 4096;
     println!("Table 1: TCP bandwidth (Mbit/s of virtual time), ttcp,");
@@ -54,6 +59,41 @@ fn main() {
         "           FreeBSD sender copied {} B ({} copies, {} crossings).",
         s.sender.bytes_copied, s.sender.copies, s.sender.crossings
     );
+
+    if boundaries {
+        if !oskit::machine::Tracer::enabled() {
+            println!("\n--boundaries: trace feature is compiled out; rebuild with default features.");
+            return;
+        }
+        let (_, send, recv) = &rows[2];
+        println!("\nper-boundary breakdown (OSKit sender, send path):");
+        print!("{}", send.sender_boundaries);
+        println!("\nper-boundary breakdown (OSKit receiver, receive path):");
+        print!("{}", recv.receiver_boundaries);
+        let tx_copied = send
+            .sender_boundaries
+            .get("linux-dev", "ether_tx")
+            .map(|b| b.bytes_copied)
+            .unwrap_or(0);
+        check(
+            "send-path copy penalty attributed to linux-dev::ether_tx",
+            tx_copied >= send.bytes,
+        );
+        check(
+            "receive path copied zero extra bytes at every boundary",
+            // Only the donor stack's own sockbuf copy (mbuf→user, paid by
+            // native FreeBSD too) moves bytes; every glue seam is zero.
+            recv.receiver_boundaries
+                .nonzero()
+                .all(|b| b.bytes_copied == 0 || (b.component, b.name) == ("freebsd-net", "sockbuf"))
+                && recv.receiver.bytes_copied == rows[1].2.receiver.bytes_copied,
+        );
+        check(
+            "per-boundary crossings sum to the aggregate meter",
+            send.sender_boundaries.total_crossings() == send.sender.crossings
+                && send.sender_boundaries.total_bytes_copied() == send.sender.bytes_copied,
+        );
+    }
 }
 
 fn check(what: &str, ok: bool) {

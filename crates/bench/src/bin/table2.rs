@@ -2,9 +2,14 @@
 //! measured with rtcp between two Pentium Pro 200MHz PCs connected by
 //! 100Mbps Ethernet."
 
+//! `--boundaries` appends the per-boundary crossing breakdown for the
+//! OSKit client — *which* glue seams the Table 2 latency overhead is
+//! paid at (requires the default `trace` feature).
+
 use oskit::{rtcp_run, NetConfig};
 
 fn main() {
+    let boundaries = std::env::args().any(|a| a == "--boundaries");
     let round_trips = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -17,6 +22,7 @@ fn main() {
     );
     let mut bsd = 0.0;
     let mut oskit = 0.0;
+    let mut oskit_breakdown = None;
     for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
         let r = rtcp_run(cfg, round_trips);
         println!(
@@ -28,8 +34,19 @@ fn main() {
         );
         match cfg {
             NetConfig::FreeBsd => bsd = r.rtt_us,
-            NetConfig::OsKit => oskit = r.rtt_us,
+            NetConfig::OsKit => {
+                oskit = r.rtt_us;
+                oskit_breakdown = Some(r.client_boundaries.clone());
+            }
             NetConfig::Linux => {}
+        }
+    }
+    if boundaries {
+        if !oskit::machine::Tracer::enabled() {
+            println!("\n--boundaries: trace feature is compiled out; rebuild with default features.");
+        } else if let Some(report) = &oskit_breakdown {
+            println!("\nper-boundary breakdown (OSKit client): where the glue crossings land");
+            print!("{report}");
         }
     }
     println!();

@@ -29,6 +29,7 @@ const ROWS: &[Row] = &[
     Row { library: "diskpart", description: "Disk partitioning", dir: "diskpart", donor_subdirs: &[] },
     Row { library: "fsread", description: "File system reading", dir: "fsread", donor_subdirs: &[] },
     Row { library: "exec", description: "Program loading", dir: "exec", donor_subdirs: &[] },
+    Row { library: "trace", description: "Observability substrate", dir: "trace", donor_subdirs: &[] },
     Row { library: "linux_dev", description: "Linux drivers & support", dir: "linux-dev", donor_subdirs: &["linux"] },
     Row { library: "freebsd_net", description: "FreeBSD network stack", dir: "freebsd-net", donor_subdirs: &["bsd"] },
     Row { library: "netbsd_fs", description: "NetBSD file system", dir: "netbsd-fs", donor_subdirs: &["ffs"] },

@@ -20,6 +20,10 @@ pub mod kernel;
 pub use experiments::{rtcp_run, ttcp_run, ttcp_run_mixed, NetConfig, RtcpResult, TtcpResult};
 pub use kernel::{Kernel, KernelBuilder};
 
+/// The observability substrate (crates/trace): per-boundary metrics,
+/// structured events, and the `oskit_trace` COM interface.
+pub use oskit_trace as trace;
+
 /// COM interfaces and machinery (paper §4.4).
 pub use oskit_com as com;
 /// The simulated PC substrate (see DESIGN.md §2).

@@ -1,6 +1,6 @@
 //! `ifnet`, Ethernet framing and ARP — the BSD link layer in donor idiom.
 
-use super::mbuf::MbufChain;
+use super::mbuf::{Mbuf, MbufChain};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -109,7 +109,13 @@ impl Ifnet {
         req[8..14].copy_from_slice(&self.mac);
         req[14..18].copy_from_slice(&my_ip.octets());
         req[24..28].copy_from_slice(&dst.octets());
-        self.ether_output([0xFF; 6], ethertype::ARP, MbufChain::from_slice(&req));
+        // MH_ALIGN: leave room for the Ethernet header so the packet
+        // stays a single (mappable) mbuf through ether_output.
+        self.ether_output(
+            [0xFF; 6],
+            ethertype::ARP,
+            MbufChain::from_mbuf(Mbuf::small(&req, 14)),
+        );
     }
 
     /// `arpintr`: processes a received ARP packet (Ethernet header already
@@ -135,7 +141,8 @@ impl Ifnet {
             reply[14..18].copy_from_slice(&tpa.octets());
             reply[18..24].copy_from_slice(&sha);
             reply[24..28].copy_from_slice(&spa.octets());
-            self.ether_output(sha, ethertype::ARP, MbufChain::from_slice(&reply));
+            // MH_ALIGN, as in arp_request: keep the reply one mbuf.
+            self.ether_output(sha, ethertype::ARP, MbufChain::from_mbuf(Mbuf::small(&reply, 14)));
         }
         for queued in self.arp.drain(spa) {
             self.ether_output(sha, ethertype::IP, queued);

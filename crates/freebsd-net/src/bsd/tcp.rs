@@ -360,7 +360,9 @@ impl TcpSock {
                 if space > 0 {
                     let n = space.min(buf.len() - written);
                     // uiomove: the user→mbuf copy every configuration pays.
-                    net.env.machine.charge_copy(n);
+                    net.env
+                        .machine
+                        .charge_copy_at(oskit_machine::boundary!("freebsd-net", "sockbuf"), n);
                     let chain = MbufChain::from_slice(&buf[written..written + n]);
                     tcb.snd_buf.append(chain);
                     written += n;
@@ -384,7 +386,9 @@ impl TcpSock {
                     let n = tcb.rcv_buf.peek(buf);
                     tcb.rcv_buf.drop_front(n);
                     // The mbuf→user copy (all configurations pay it).
-                    net.env.machine.charge_copy(n);
+                    net.env
+                        .machine
+                        .charge_copy_at(oskit_machine::boundary!("freebsd-net", "sockbuf"), n);
                     // Window update if we opened it significantly.
                     let avail = tcb.rcv_buf.space() as u32;
                     let advertised = tcb.rcv_adv.wrapping_sub(tcb.rcv_nxt);
@@ -648,7 +652,9 @@ impl TcpSock {
             let mut flat = vec![0u8; hdr_len + paylen];
             flat[..hdr_len].copy_from_slice(&hdr);
             payload.m_copydata(0, &mut flat[hdr_len..]);
-            net.env.machine.charge_copy(paylen);
+            net.env
+                .machine
+                .charge_copy_at(oskit_machine::boundary!("freebsd-net", "tcp_output"), paylen);
             MbufChain::from_mbuf(Mbuf::small(&flat, MLEN - flat.len()))
         } else {
             // Header-first chain: a small mbuf (with leading space for the

@@ -108,7 +108,9 @@ impl UdpSock {
             return Err(oskit_com::Error::MsgSize);
         }
         net.env.machine.charge_layer();
-        net.env.machine.charge_copy(buf.len()); // uiomove.
+        net.env
+            .machine
+            .charge_copy_at(oskit_machine::boundary!("freebsd-net", "sockbuf"), buf.len()); // uiomove.
         let mut hdr = [0u8; UDP_HDR_LEN];
         hdr[0..2].copy_from_slice(&lport.to_be_bytes());
         hdr[2..4].copy_from_slice(&dport.to_be_bytes());
@@ -157,7 +159,9 @@ impl UdpSock {
                     inner.queued -= data.len();
                     let n = buf.len().min(data.len());
                     buf[..n].copy_from_slice(&data[..n]);
-                    net.env.machine.charge_copy(n);
+                    net.env
+                        .machine
+                        .charge_copy_at(oskit_machine::boundary!("freebsd-net", "sockbuf"), n);
                     return Ok((n, src));
                 }
             }

@@ -62,7 +62,9 @@ pub fn open_ether_if(net: &Arc<BsdNet>, dev: &Arc<dyn EtherDev>) -> Result<Arc<I
     // to copy the incoming data" (§5).
     let net2 = Arc::clone(net);
     let rx = FnNetIo::new(move |pkt: Arc<dyn BufIo>| {
-        net2.env.machine.charge_crossing(); // Entering the BSD component.
+        let b = oskit_machine::boundary!("freebsd-net", "rx_ether");
+        let _span = net2.env.machine.span(b);
+        net2.env.machine.charge_crossing_at(b); // Entering the BSD component.
         let len = pkt.get_size()? as usize;
         let chain = match pkt.with_map(0, len, &mut |_| {}) {
             Ok(()) => MbufChain::from_mbuf(Mbuf::ext(pkt, 0, len)),
@@ -70,7 +72,7 @@ pub fn open_ether_if(net: &Arc<BsdNet>, dev: &Arc<dyn EtherDev>) -> Result<Arc<I
                 // Unmappable foreign buffer: copy into a cluster chain.
                 let mut flat = vec![0u8; len];
                 let n = pkt.read(&mut flat, 0)?;
-                net2.env.machine.charge_copy(n);
+                net2.env.machine.charge_copy_at(b, n);
                 MbufChain::from_slice(&flat[..n])
             }
             Err(e) => return Err(e),
@@ -104,7 +106,9 @@ struct GlueOutput {
 
 impl IfOutput for GlueOutput {
     fn output(&self, frame: MbufChain) {
-        self.net.env.machine.charge_crossing(); // Leaving the BSD component.
+        let b = oskit_machine::boundary!("freebsd-net", "tx_output");
+        let _span = self.net.env.machine.span(b);
+        self.net.env.machine.charge_crossing_at(b); // Leaving the BSD component.
         let pkt = MbufBufIo::new(frame);
         let _ = self.tx.push(pkt as Arc<dyn BufIo>);
     }

@@ -38,7 +38,10 @@ impl BsdSocketFactory {
 impl SocketFactory for BsdSocketFactory {
     fn create(&self, domain: Domain, ty: SockType) -> Result<Arc<dyn Socket>> {
         let Domain::Inet = domain;
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         Ok(match ty {
             SockType::Stream => new_com(
                 BsdComSocket {
@@ -104,7 +107,10 @@ impl BsdComSocket {
 
 impl Socket for BsdComSocket {
     fn bind(&self, addr: SockAddr) -> Result<()> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         match &self.inner {
             Inner::Tcp(t) => t.bind(addr.addr, addr.port),
             Inner::Udp(u) => u.bind(addr.addr, addr.port),
@@ -112,7 +118,10 @@ impl Socket for BsdComSocket {
     }
 
     fn connect(&self, addr: SockAddr) -> Result<()> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         match &self.inner {
             Inner::Tcp(t) => t.connect(addr.addr, addr.port),
             Inner::Udp(u) => u.connect(addr.addr, addr.port),
@@ -120,12 +129,18 @@ impl Socket for BsdComSocket {
     }
 
     fn listen(&self, backlog: usize) -> Result<()> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         self.tcp()?.listen(backlog)
     }
 
     fn accept(&self) -> Result<(Arc<dyn Socket>, SockAddr)> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         let (child, (addr, port)) = self.tcp()?.accept()?;
         Ok((
             Self::from_tcp(&self.net, child) as Arc<dyn Socket>,
@@ -134,7 +149,10 @@ impl Socket for BsdComSocket {
     }
 
     fn send(&self, buf: &[u8]) -> Result<usize> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         match &self.inner {
             Inner::Tcp(t) => t.send(buf),
             Inner::Udp(u) => u.send(buf),
@@ -142,7 +160,10 @@ impl Socket for BsdComSocket {
     }
 
     fn recv(&self, buf: &mut [u8]) -> Result<usize> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         match &self.inner {
             Inner::Tcp(t) => t.recv(buf),
             Inner::Udp(u) => u.recvfrom(buf).map(|(n, _)| n),
@@ -150,12 +171,18 @@ impl Socket for BsdComSocket {
     }
 
     fn sendto(&self, buf: &[u8], addr: SockAddr) -> Result<usize> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         self.udp()?.sendto(buf, addr.addr, addr.port)
     }
 
     fn recvfrom(&self, buf: &mut [u8]) -> Result<(usize, SockAddr)> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         let (n, (addr, port)) = self.udp()?.recvfrom(buf)?;
         Ok((n, SockAddr::new(addr, port)))
     }
@@ -192,7 +219,10 @@ impl Socket for BsdComSocket {
     }
 
     fn shutdown(&self, how: Shutdown) -> Result<()> {
-        self.net.env.machine.charge_crossing();
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
         match how {
             Shutdown::Write | Shutdown::Both => {
                 if let Inner::Tcp(t) = &self.inner {

@@ -131,7 +131,9 @@ impl EtherDev for LinuxEtherDev {
         // client's netio.  One component-boundary crossing; zero copies.
         let env = Arc::clone(&self.env);
         self.dev.set_rx_handler(move |skb| {
-            env.machine.charge_crossing();
+            let b = oskit_machine::boundary!("linux-dev", "ether_rx");
+            let _span = env.machine.span(b);
+            env.machine.charge_crossing_at(b);
             let _ = rx.push(SkbBufIo::new(skb) as Arc<dyn BufIo>);
         });
         self.dev.open();
@@ -168,7 +170,9 @@ struct LinuxTxNetIo {
 
 impl NetIo for LinuxTxNetIo {
     fn push(&self, pkt: Arc<dyn BufIo>) -> Result<()> {
-        self.env.machine.charge_crossing();
+        let b = oskit_machine::boundary!("linux-dev", "ether_tx");
+        let _span = self.env.machine.span(b);
+        self.env.machine.charge_crossing_at(b);
         // Entering the encapsulated component: manufacture `current`
         // (§4.7.5).
         let _entry = super::curproc::GlueEntry::new(&self.current, "oskit_tx");
@@ -201,7 +205,7 @@ impl NetIo for LinuxTxNetIo {
                 if n != len {
                     return Err(Error::Io);
                 }
-                self.env.machine.charge_copy(len);
+                self.env.machine.charge_copy_at(b, len);
                 self.dev.hard_start_xmit(&skb);
                 Ok(())
             }

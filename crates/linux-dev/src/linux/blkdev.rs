@@ -74,7 +74,7 @@ impl IdeDrive {
         let machine = Arc::clone(&env.machine);
         env.machine.irq.install(hw.irq_line(), move |_| {
             let Some(d) = weak.upgrade() else { return };
-            machine.charge_irq();
+            machine.charge_irq_at(oskit_machine::boundary!("linux-dev", "blk_intr"));
             d.intr();
         });
         drive

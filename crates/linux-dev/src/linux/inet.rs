@@ -255,7 +255,10 @@ impl LinuxSock {
                 if space > 0 {
                     let n = space.min(buf.len() - written);
                     // memcpy_fromfs: the user→kernel copy.
-                    self.inet().env.machine.charge_copy(n);
+                    self.inet()
+                        .env
+                        .machine
+                        .charge_copy_at(oskit_machine::boundary!("linux-dev", "sockbuf"), n);
                     pcb.pending.extend(&buf[written..written + n]);
                     written += n;
                     drop(pcb);
@@ -281,7 +284,10 @@ impl LinuxSock {
                     let queued = pcb.recvq.len();
                     drop(pcb);
                     // memcpy_tofs: the kernel→user copy.
-                    self.inet().env.machine.charge_copy(n);
+                    self.inet()
+                        .env
+                        .machine
+                        .charge_copy_at(oskit_machine::boundary!("linux-dev", "sockbuf"), n);
                     // Window update only when it reopens substantially.
                     if n >= 2 * MSS && queued < RCVBUF / 2 {
                         self.send_segment(tf::ACK, &[], false);

@@ -89,7 +89,7 @@ impl NetDevice {
             .irq
             .install(self.hw.irq_line(), move |_| {
                 let Some(dev) = weak.upgrade() else { return };
-                machine.charge_irq();
+                machine.charge_irq_at(oskit_machine::boundary!("linux-dev", "net_intr"));
                 dev.rx_interrupt();
             });
     }

@@ -23,7 +23,8 @@ pub mod uart;
 pub use costs::{CostModel, WorkMeter, WorkSnapshot};
 pub use disk::{Completion, Disk, DiskConfig, SECTOR_SIZE};
 pub use irq::{IrqController, IrqGuard, NUM_IRQS};
-pub use machine::Machine;
+pub use machine::{BoundarySpan, Machine};
+pub use oskit_trace::{boundary, BoundaryId, EventKind, TraceReport, Tracer};
 pub use nic::{Nic, WireConfig, MAX_FRAME, MIN_FRAME};
 pub use phys::{PhysAddr, PhysMem, DMA_LIMIT, LOWER_MEM_END, UPPER_MEM_START};
 pub use sched::{EventId, Ns, Sim, SleepRecord, Tid, WakeReason};

@@ -4,6 +4,7 @@ use crate::costs::{CostModel, WorkMeter};
 use crate::irq::IrqController;
 use crate::phys::PhysMem;
 use crate::sched::{EventId, Ns, Sim};
+use oskit_trace::{BoundaryId, EventKind, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,6 +29,9 @@ pub struct Machine {
     pub costs: CostModel,
     /// Counters of mechanical work performed.
     pub meter: WorkMeter,
+    /// Per-boundary structured trace (zero-sized no-op unless the
+    /// `trace` feature is enabled).
+    tracer: Tracer,
     clock: AtomicU64,
 }
 
@@ -51,8 +55,14 @@ impl Machine {
             irq: Arc::new(IrqController::new()),
             costs,
             meter: WorkMeter::default(),
+            tracer: Tracer::new(),
             clock: AtomicU64::new(0),
         })
+    }
+
+    /// This machine's tracer: per-boundary refinement of [`Machine::meter`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// This machine's CPU clock: the virtual time up to which its
@@ -98,11 +108,29 @@ impl Machine {
     ///
     /// Every `memcpy` performed by driver, glue, or protocol code calls
     /// this, so the copy counts behind Table 1's send/receive asymmetry
-    /// are measured, not asserted.
+    /// are measured, not asserted.  Un-attributed variant of
+    /// [`Machine::charge_copy_at`]: the trace books the copy on the
+    /// reserved `machine::unattributed` boundary.
     pub fn charge_copy(&self, bytes: usize) {
+        self.charge_copy_at(BoundaryId::UNATTRIBUTED, bytes);
+    }
+
+    /// Charges a memory copy of `bytes` bytes, attributed to `boundary`.
+    ///
+    /// The aggregate [`Machine::meter`] and the CPU clock advance exactly
+    /// as in [`Machine::charge_copy`]; only the trace gains per-boundary
+    /// detail, so attributing a call site never changes Table 1 numbers.
+    pub fn charge_copy_at(&self, boundary: BoundaryId, bytes: usize) {
         self.meter.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
         self.meter.copies.fetch_add(1, Ordering::Relaxed);
         self.advance(self.costs.copy_ns(bytes));
+        self.tracer.record(
+            boundary,
+            EventKind::Copy {
+                bytes: bytes as u64,
+            },
+            self.clock(),
+        );
     }
 
     /// Charges a checksum pass over `bytes` bytes.
@@ -115,10 +143,18 @@ impl Machine {
 
     /// Charges one component-boundary crossing (COM dispatch plus glue
     /// prologue/epilogue) — the per-call price of separability that
-    /// dominates Table 2's latency overhead.
+    /// dominates Table 2's latency overhead.  Un-attributed variant of
+    /// [`Machine::charge_crossing_at`].
     pub fn charge_crossing(&self) {
+        self.charge_crossing_at(BoundaryId::UNATTRIBUTED);
+    }
+
+    /// Charges one component-boundary crossing, attributed to `boundary`.
+    pub fn charge_crossing_at(&self, boundary: BoundaryId) {
         self.meter.crossings.fetch_add(1, Ordering::Relaxed);
         self.advance(self.costs.crossing_ns);
+        self.tracer
+            .record(boundary, EventKind::Crossing, self.clock());
     }
 
     /// Charges one layer of per-packet protocol processing.
@@ -127,9 +163,53 @@ impl Machine {
     }
 
     /// Charges the fixed cost of taking a hardware interrupt.
+    /// Un-attributed variant of [`Machine::charge_irq_at`].
     pub fn charge_irq(&self) {
+        self.charge_irq_at(BoundaryId::UNATTRIBUTED);
+    }
+
+    /// Charges the fixed cost of taking a hardware interrupt, attributed
+    /// to `boundary`.
+    pub fn charge_irq_at(&self, boundary: BoundaryId) {
         self.meter.irqs.fetch_add(1, Ordering::Relaxed);
         self.advance(self.costs.irq_ns);
+        self.tracer.record(boundary, EventKind::Irq, self.clock());
+    }
+
+    /// Records a trace event at `boundary` without charging any work —
+    /// used for observations that have no cost-model price of their own
+    /// (allocations, sleeps, wakeups reported by the osenv).
+    pub fn trace_note(&self, boundary: BoundaryId, kind: EventKind) {
+        self.tracer.record(boundary, kind, self.clock());
+    }
+
+    /// Opens a profiling span at `boundary`: until the returned guard is
+    /// dropped, all virtual time this machine's clock advances is
+    /// attributed to the boundary's `vtime_ns` metric.
+    ///
+    /// Spans observe — they never charge — so wrapping a glue seam in a
+    /// span leaves every meter and Table 1/2 number unchanged.
+    pub fn span(&self, boundary: BoundaryId) -> BoundarySpan<'_> {
+        BoundarySpan {
+            machine: self,
+            boundary,
+            entry: self.clock(),
+        }
+    }
+}
+
+/// RAII guard from [`Machine::span`], attributing elapsed virtual time
+/// to a boundary when dropped.
+pub struct BoundarySpan<'a> {
+    machine: &'a Machine,
+    boundary: BoundaryId,
+    entry: Ns,
+}
+
+impl Drop for BoundarySpan<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.machine.clock().saturating_sub(self.entry);
+        self.machine.tracer.add_vtime(self.boundary, elapsed);
     }
 }
 
@@ -177,6 +257,66 @@ mod tests {
             done.wait(&s2);
         });
         sim.run();
+    }
+
+    #[test]
+    fn attributed_charges_keep_aggregates_identical() {
+        let sim = Sim::new();
+        let plain = Machine::new(&sim, "plain", 4096);
+        let attributed = Machine::new(&sim, "attr", 4096);
+        let b = oskit_trace::boundary!("machine-test", "seam");
+
+        plain.charge_copy(100);
+        plain.charge_crossing();
+        plain.charge_irq();
+        attributed.charge_copy_at(b, 100);
+        attributed.charge_crossing_at(b);
+        attributed.charge_irq_at(b);
+
+        // Attribution is free: meters and clocks match exactly.
+        assert_eq!(plain.meter.snapshot(), attributed.meter.snapshot());
+        assert_eq!(plain.clock(), attributed.clock());
+
+        if Tracer::enabled() {
+            let m = *attributed
+                .tracer()
+                .metrics()
+                .get("machine-test", "seam")
+                .unwrap();
+            assert_eq!((m.copies, m.bytes_copied, m.crossings, m.irqs), (1, 100, 1, 1));
+            // The plain machine booked everything as unattributed.
+            let u = *plain
+                .tracer()
+                .metrics()
+                .get("machine", "unattributed")
+                .unwrap();
+            assert_eq!((u.copies, u.crossings, u.irqs), (1, 1, 1));
+        }
+    }
+
+    #[test]
+    fn span_attributes_vtime_without_charging() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, "m", 4096);
+        let b = oskit_trace::boundary!("machine-test", "span_seam");
+        let before = m.meter.snapshot();
+        {
+            let _span = m.span(b);
+            m.charge_copy(25_000); // 1 ms at 25 MB/s
+        }
+        let after = m.meter.snapshot();
+        // The span itself charged nothing beyond the copy.
+        assert_eq!(after.copies, before.copies + 1);
+        assert_eq!(m.clock(), 1_000_000);
+        if Tracer::enabled() {
+            let v = m
+                .tracer()
+                .metrics()
+                .get("machine-test", "span_seam")
+                .unwrap()
+                .vtime_ns;
+            assert_eq!(v, 1_000_000);
+        }
     }
 
     #[test]

@@ -32,7 +32,8 @@ struct Mount {
 impl Mount {
     fn enter(&self) -> LockGuard<'_> {
         if let Some(env) = &self.env {
-            env.machine.charge_crossing();
+            env.machine
+                .charge_crossing_at(oskit_machine::boundary!("netbsd-fs", "vfs_enter"));
         }
         if let Some((sim, lock)) = &self.lock {
             lock.enter(sim);

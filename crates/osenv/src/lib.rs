@@ -22,6 +22,7 @@
 //!   nonpreemptive donor code in multithreaded clients.
 
 use oskit_machine::{IrqGuard, Machine, Ns, PhysAddr, Sim, SleepRecord, WakeReason, DMA_LIMIT};
+use oskit_trace::{boundary, EventKind};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -180,6 +181,11 @@ impl OsEnv {
     /// Builds an environment with the default memory allocator and a
     /// stderr log sink.
     pub fn new(machine: &Arc<Machine>) -> Arc<OsEnv> {
+        // Environment construction is "boot" for the components above it:
+        // publish the trace service and start counting COM dispatch here,
+        // so any assembled configuration is observable from the start.
+        oskit_trace::register_com_object();
+        oskit_trace::instrument_com_dispatch();
         let mem_size = machine.phys.size();
         Arc::new(OsEnv {
             machine: Arc::clone(machine),
@@ -210,7 +216,16 @@ impl OsEnv {
 
     /// Allocates physical memory under `flags`.
     pub fn mem_alloc(&self, size: usize, align: usize, flags: MemFlags) -> Option<PhysAddr> {
-        self.mem.lock().alloc(size, align, flags)
+        let got = self.mem.lock().alloc(size, align, flags);
+        if got.is_some() {
+            self.machine.trace_note(
+                boundary!("osenv", "mem"),
+                EventKind::Alloc {
+                    bytes: size as u64,
+                },
+            );
+        }
+        got
     }
 
     /// Frees an allocation.
@@ -309,16 +324,25 @@ pub struct OsenvSleep {
 impl OsenvSleep {
     /// Blocks the calling process thread until [`OsenvSleep::wakeup`].
     pub fn sleep(&self) {
+        self.env
+            .machine
+            .trace_note(boundary!("osenv", "sleep"), EventKind::Sleep);
         self.rec.wait(self.env.sim());
     }
 
     /// Blocks with a timeout; returns how the sleep ended.
     pub fn sleep_timeout(&self, timeout: Ns) -> WakeReason {
+        self.env
+            .machine
+            .trace_note(boundary!("osenv", "sleep"), EventKind::Sleep);
         self.rec.wait_timeout(self.env.sim(), timeout)
     }
 
     /// Wakes the sleeper (callable from interrupt level).
     pub fn wakeup(&self) {
+        self.env
+            .machine
+            .trace_note(boundary!("osenv", "sleep"), EventKind::Wakeup);
         self.rec.signal(self.env.sim());
     }
 }

@@ -1,0 +1,69 @@
+//! Structured trace events.
+//!
+//! Every event carries the [`BoundaryId`](crate::BoundaryId) of the glue
+//! seam it was observed at, the virtual timestamp of the machine's cost
+//! model at that moment, and a kind describing *what* crossed the seam.
+
+use crate::boundary::BoundaryId;
+use std::fmt;
+
+/// What happened at a boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Control transferred across the boundary (a glue-code call).
+    Crossing,
+    /// Payload bytes were physically copied at the boundary.
+    Copy {
+        /// Number of bytes copied.
+        bytes: u64,
+    },
+    /// Memory was allocated through the osenv at this boundary.
+    Alloc {
+        /// Number of bytes allocated.
+        bytes: u64,
+    },
+    /// A thread blocked (osenv sleep) at this boundary.
+    Sleep,
+    /// A sleeping thread was woken at this boundary.
+    Wakeup,
+    /// An interrupt was delivered at this boundary.
+    Irq,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Crossing => write!(f, "crossing"),
+            EventKind::Copy { bytes } => write!(f, "copy({bytes}B)"),
+            EventKind::Alloc { bytes } => write!(f, "alloc({bytes}B)"),
+            EventKind::Sleep => write!(f, "sleep"),
+            EventKind::Wakeup => write!(f, "wakeup"),
+            EventKind::Irq => write!(f, "irq"),
+        }
+    }
+}
+
+/// One structured observation at a component boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic per-tracer sequence number (assigned at record time).
+    pub seq: u64,
+    /// Virtual timestamp, in nanoseconds of the machine's cost-model
+    /// clock, when the event was recorded.
+    pub vtime_ns: u64,
+    /// The boundary the event was observed at.
+    pub boundary: BoundaryId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (component, name) = crate::boundary::boundary_info(self.boundary);
+        write!(
+            f,
+            "[{:>10}ns] #{:<5} {}::{} {}",
+            self.vtime_ns, self.seq, component, name, self.kind
+        )
+    }
+}

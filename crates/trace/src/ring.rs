@@ -1,0 +1,247 @@
+//! The fixed-capacity lock-free event ring.
+//!
+//! A bounded multi-producer/multi-consumer queue in the style of Dmitry
+//! Vyukov's array queue: each slot carries its own sequence number, so
+//! producers and consumers synchronize per-slot with no locks anywhere.
+//! When the ring is full, *new* events are rejected (the oldest context is
+//! usually the most valuable in a post-mortem) and the rejection is
+//! counted — overflow is never silent.
+
+use crate::event::TraceEvent;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot {
+    /// Per-slot sequence: `index` when empty and writable, `index + 1`
+    /// when full and readable, advancing by `capacity` per lap.
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<TraceEvent>>,
+}
+
+/// A fixed-capacity lock-free ring of [`TraceEvent`]s.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are only accessed under the per-slot seq protocol; the
+// contained TraceEvent is Copy + Send.
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        EventRing {
+            slots,
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Appends `ev`; returns `false` (and counts the drop) if full.
+    pub fn try_push(&self, ev: TraceEvent) -> bool {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot free at this lap: claim it.
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this thread exclusive write
+                        // access to the slot until seq is published below.
+                        unsafe { (*slot.val.get()).write(ev) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (seq as isize).wrapping_sub(pos as isize) < 0 {
+                // A full lap behind: the ring is full.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer advanced head; retry at the front.
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes and returns the oldest event, if any.
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this thread exclusive read
+                        // access; the slot was written before seq was set.
+                        let ev = unsafe { (*slot.val.get()).assume_init() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(ev);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (seq as isize).wrapping_sub(expected as isize) < 0 {
+                // Not yet published: empty.
+                return None;
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains everything currently readable, in FIFO order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// How many events were rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Approximate number of events currently buffered.
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        head.wrapping_sub(tail)
+    }
+
+    /// Whether the ring currently holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::BoundaryId;
+    use std::sync::Arc;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            vtime_ns: seq * 10,
+            boundary: BoundaryId::UNATTRIBUTED,
+            kind: EventKind::Crossing,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..5 {
+            assert!(r.try_push(ev(i)));
+        }
+        let got: Vec<u64> = r.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(got, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_drops_are_counted_not_silent() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..20 {
+            r.try_push(ev(i));
+        }
+        assert_eq!(r.dropped(), 12);
+        // The *oldest* events are retained.
+        let got: Vec<u64> = r.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(got, [0, 1, 2, 3, 4, 5, 6, 7]);
+        // After draining, capacity is available again and drops stop.
+        assert!(r.try_push(ev(99)));
+        assert_eq!(r.dropped(), 12);
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let r = EventRing::with_capacity(4);
+        for lap in 0..100u64 {
+            for i in 0..3 {
+                assert!(r.try_push(ev(lap * 3 + i)));
+            }
+            let got: Vec<u64> = r.drain().iter().map(|e| e.seq).collect();
+            assert_eq!(got, [lap * 3, lap * 3 + 1, lap * 3 + 2]);
+        }
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_uncounted() {
+        let r = Arc::new(EventRing::with_capacity(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let mut pushed = 0u64;
+                    for i in 0..1000 {
+                        if r.try_push(ev(t * 1000 + i)) {
+                            pushed += 1;
+                        }
+                    }
+                    pushed
+                })
+            })
+            .collect();
+        // A concurrent consumer drains while producers run.
+        let consumer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                for _ in 0..10_000 {
+                    if r.pop().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            })
+        };
+        let pushed: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        let consumed = consumer.join().unwrap();
+        let remaining = r.drain().len() as u64;
+        // Conservation: every push was either consumed, still buffered,
+        // or counted as dropped.
+        assert_eq!(pushed, consumed + remaining);
+        assert_eq!(pushed + r.dropped(), 4000);
+    }
+}

@@ -1,0 +1,378 @@
+//! The per-machine tracer: per-boundary metric counters plus the event
+//! ring, behind a handle that compiles to a zero-sized no-op when the
+//! `trace` feature is off.
+
+use crate::boundary::{boundary_count, BoundaryId};
+#[cfg(feature = "trace")]
+use crate::boundary::MAX_BOUNDARIES;
+use crate::event::{EventKind, TraceEvent};
+use std::fmt;
+
+#[cfg(feature = "trace")]
+use crate::ring::EventRing;
+#[cfg(feature = "trace")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "trace")]
+use std::sync::Arc;
+
+/// Default capacity of a tracer's event ring, in events.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Live atomic counters for one boundary.
+#[cfg(feature = "trace")]
+#[derive(Default)]
+struct BoundaryStats {
+    crossings: AtomicU64,
+    copies: AtomicU64,
+    bytes_copied: AtomicU64,
+    allocs: AtomicU64,
+    bytes_allocated: AtomicU64,
+    sleeps: AtomicU64,
+    wakeups: AtomicU64,
+    irqs: AtomicU64,
+    vtime_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of one boundary's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoundaryMetrics {
+    /// Component owning the boundary (e.g. `"linux-dev"`).
+    pub component: &'static str,
+    /// Boundary name within the component (e.g. `"ether_tx"`).
+    pub name: &'static str,
+    /// Control transfers observed at this seam.
+    pub crossings: u64,
+    /// Copy operations observed at this seam.
+    pub copies: u64,
+    /// Total payload bytes physically copied at this seam.
+    pub bytes_copied: u64,
+    /// Allocations observed at this seam.
+    pub allocs: u64,
+    /// Total bytes allocated at this seam.
+    pub bytes_allocated: u64,
+    /// Threads that blocked at this seam.
+    pub sleeps: u64,
+    /// Wakeups delivered at this seam.
+    pub wakeups: u64,
+    /// Interrupts delivered at this seam.
+    pub irqs: u64,
+    /// Virtual nanoseconds spent inside spans opened at this seam
+    /// (reported by `BoundarySpan` guards in `oskit-machine`).
+    pub vtime_ns: u64,
+}
+
+impl BoundaryMetrics {
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.crossings == 0
+            && self.copies == 0
+            && self.bytes_copied == 0
+            && self.allocs == 0
+            && self.bytes_allocated == 0
+            && self.sleeps == 0
+            && self.wakeups == 0
+            && self.irqs == 0
+            && self.vtime_ns == 0
+    }
+}
+
+/// A full per-boundary metrics snapshot from one tracer.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// One entry per boundary registered in the process, in registration
+    /// order (index == [`BoundaryId::index`]).  Boundaries this tracer
+    /// never touched are present with all-zero counters.
+    pub boundaries: Vec<BoundaryMetrics>,
+    /// Events rejected because the ring was full (see
+    /// [`crate::EventRing`]).
+    pub events_dropped: u64,
+}
+
+impl TraceReport {
+    /// Looks up the metrics of one boundary by name.
+    pub fn get(&self, component: &str, name: &str) -> Option<&BoundaryMetrics> {
+        self.boundaries
+            .iter()
+            .find(|b| b.component == component && b.name == name)
+    }
+
+    /// The boundaries with at least one nonzero counter.
+    pub fn nonzero(&self) -> impl Iterator<Item = &BoundaryMetrics> {
+        self.boundaries.iter().filter(|b| !b.is_zero())
+    }
+
+    /// Sum of bytes copied across every boundary.  When all charges are
+    /// attributed this equals the aggregate
+    /// `WorkMeter` `bytes_copied`.
+    pub fn total_bytes_copied(&self) -> u64 {
+        self.boundaries.iter().map(|b| b.bytes_copied).sum()
+    }
+
+    /// Sum of crossings across every boundary.
+    pub fn total_crossings(&self) -> u64 {
+        self.boundaries.iter().map(|b| b.crossings).sum()
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>8} {:>5} {:>12}",
+            "boundary",
+            "crossings",
+            "copies",
+            "bytes-copied",
+            "allocs",
+            "sleeps",
+            "wakeups",
+            "irqs",
+            "vtime-ns"
+        )?;
+        for b in self.nonzero() {
+            writeln!(
+                f,
+                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>8} {:>5} {:>12}",
+                format!("{}::{}", b.component, b.name),
+                b.crossings,
+                b.copies,
+                b.bytes_copied,
+                b.allocs,
+                b.sleeps,
+                b.wakeups,
+                b.irqs,
+                b.vtime_ns
+            )?;
+        }
+        if self.events_dropped > 0 {
+            writeln!(f, "  ({} trace events dropped)", self.events_dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(feature = "trace")]
+struct TracerCore {
+    stats: Box<[BoundaryStats]>,
+    ring: EventRing,
+    next_seq: AtomicU64,
+}
+
+#[cfg(feature = "trace")]
+impl TracerCore {
+    fn new(ring_capacity: usize) -> TracerCore {
+        TracerCore {
+            stats: (0..MAX_BOUNDARIES).map(|_| BoundaryStats::default()).collect(),
+            ring: EventRing::with_capacity(ring_capacity),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    fn bump(&self, boundary: BoundaryId, kind: EventKind) {
+        let s = &self.stats[boundary.index()];
+        match kind {
+            EventKind::Crossing => {
+                s.crossings.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Copy { bytes } => {
+                s.copies.fetch_add(1, Ordering::Relaxed);
+                s.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+            }
+            EventKind::Alloc { bytes } => {
+                s.allocs.fetch_add(1, Ordering::Relaxed);
+                s.bytes_allocated.fetch_add(bytes, Ordering::Relaxed);
+            }
+            EventKind::Sleep => {
+                s.sleeps.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Wakeup => {
+                s.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Irq => {
+                s.irqs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A cloneable handle to one tracing domain (normally: one simulated
+/// machine).
+///
+/// With the `trace` feature enabled the handle shares a core of
+/// per-boundary atomic counters plus an
+/// [`EventRing`](crate::EventRing); recording is a handful of relaxed
+/// atomic ops.  With the feature disabled the handle is a zero-sized
+/// type and every method is an empty inline function the optimizer
+/// erases entirely.
+///
+/// ```
+/// use oskit_trace::{boundary, EventKind, Tracer};
+/// let t = Tracer::new();
+/// t.record(boundary!("doc", "seam"), EventKind::Copy { bytes: 64 }, 10);
+/// let report = t.metrics();
+/// # #[cfg(feature = "trace")]
+/// assert_eq!(report.get("doc", "seam").unwrap().bytes_copied, 64);
+/// ```
+#[derive(Clone)]
+pub struct Tracer {
+    #[cfg(feature = "trace")]
+    core: Arc<TracerCore>,
+}
+
+impl Tracer {
+    /// Creates a tracer with the default ring capacity.
+    pub fn new() -> Tracer {
+        Tracer::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a tracer whose ring holds `capacity` events.
+    #[allow(unused_variables)]
+    pub fn with_ring_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            #[cfg(feature = "trace")]
+            core: Arc::new(TracerCore::new(capacity)),
+        }
+    }
+
+    /// Whether event recording is compiled in.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "trace")
+    }
+
+    /// Records a full structured event: bumps the boundary's counters
+    /// and appends to the event ring (counting, not silently dropping,
+    /// on overflow).
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn record(&self, boundary: BoundaryId, kind: EventKind, vtime_ns: u64) {
+        #[cfg(feature = "trace")]
+        {
+            self.core.bump(boundary, kind);
+            let seq = self.core.next_seq.fetch_add(1, Ordering::Relaxed);
+            self.core.ring.try_push(TraceEvent {
+                seq,
+                vtime_ns,
+                boundary,
+                kind,
+            });
+        }
+    }
+
+    /// Bumps the boundary's counters without emitting a ring event.
+    ///
+    /// Used on paths too hot (or too global) for per-event storage,
+    /// e.g. COM interface dispatch.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn count(&self, boundary: BoundaryId, kind: EventKind) {
+        #[cfg(feature = "trace")]
+        self.core.bump(boundary, kind);
+    }
+
+    /// Attributes `ns` of virtual time to `boundary` (reported by span
+    /// guards when they close).
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn add_vtime(&self, boundary: BoundaryId, ns: u64) {
+        #[cfg(feature = "trace")]
+        self.core.stats[boundary.index()]
+            .vtime_ns
+            .fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshots every registered boundary's counters.
+    ///
+    /// The snapshot is per-counter atomic; under concurrent writers each
+    /// value is some value the counter actually held.
+    pub fn metrics(&self) -> TraceReport {
+        let mut report = TraceReport {
+            boundaries: Vec::new(),
+            events_dropped: self.dropped(),
+        };
+        for i in 0..boundary_count() {
+            let (component, name) = crate::boundary::boundary_info_at(i);
+            #[cfg(feature = "trace")]
+            let m = {
+                let s = &self.core.stats[i];
+                BoundaryMetrics {
+                    component,
+                    name,
+                    crossings: s.crossings.load(Ordering::Relaxed),
+                    copies: s.copies.load(Ordering::Relaxed),
+                    bytes_copied: s.bytes_copied.load(Ordering::Relaxed),
+                    allocs: s.allocs.load(Ordering::Relaxed),
+                    bytes_allocated: s.bytes_allocated.load(Ordering::Relaxed),
+                    sleeps: s.sleeps.load(Ordering::Relaxed),
+                    wakeups: s.wakeups.load(Ordering::Relaxed),
+                    irqs: s.irqs.load(Ordering::Relaxed),
+                    vtime_ns: s.vtime_ns.load(Ordering::Relaxed),
+                }
+            };
+            #[cfg(not(feature = "trace"))]
+            let m = BoundaryMetrics {
+                component,
+                name,
+                ..BoundaryMetrics::default()
+            };
+            report.boundaries.push(m);
+        }
+        report
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        #[cfg(feature = "trace")]
+        {
+            self.core.ring.drain()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Number of events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.core.ring.dropped()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+
+    /// Resets every counter and discards buffered events.
+    pub fn clear(&self) {
+        #[cfg(feature = "trace")]
+        {
+            for s in self.core.stats.iter() {
+                s.crossings.store(0, Ordering::Relaxed);
+                s.copies.store(0, Ordering::Relaxed);
+                s.bytes_copied.store(0, Ordering::Relaxed);
+                s.allocs.store(0, Ordering::Relaxed);
+                s.bytes_allocated.store(0, Ordering::Relaxed);
+                s.sleeps.store(0, Ordering::Relaxed);
+                s.wakeups.store(0, Ordering::Relaxed);
+                s.irqs.store(0, Ordering::Relaxed);
+                s.vtime_ns.store(0, Ordering::Relaxed);
+            }
+            while self.core.ring.pop().is_some() {}
+        }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &Tracer::enabled())
+            .finish()
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything that must stay green.
+#   tools/check.sh           full run
+#   tools/check.sh --fast    skip the release build
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *) echo "usage: tools/check.sh [--fast]" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo test -q (workspace, default features: trace on)"
+cargo test -q
+
+if [ "$fast" -eq 0 ]; then
+    echo "==> cargo build --release (workspace)"
+    cargo build --release
+    echo "==> cargo build --release -p oskit-bench --no-default-features (trace off)"
+    cargo build --release -p oskit-bench --no-default-features
+fi
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "==> all checks passed"
