@@ -15,6 +15,7 @@ use oskit::{ttcp_run_mixed, NetConfig};
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
     let boundaries = std::env::args().any(|a| a == "--boundaries");
+    let sg = std::env::args().any(|a| a == "--sg");
     let blocks = if paper { 131_072 } else { 4096 };
     let bs = 4096;
     println!("Table 1: TCP bandwidth (Mbit/s of virtual time), ttcp,");
@@ -59,6 +60,46 @@ fn main() {
         "           FreeBSD sender copied {} B ({} copies, {} crossings).",
         s.sender.bytes_copied, s.sender.copies, s.sender.crossings
     );
+
+    if sg {
+        // Ablation row, printed after (never instead of) the paper table:
+        // the same glue and stack, but the driver advertises NETIF_F_SG and
+        // the send path maps mbuf fragments instead of copying them.
+        let send = ttcp_run_mixed(NetConfig::OsKitSg, NetConfig::FreeBsd, blocks, bs);
+        let recv = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKitSg, blocks, bs);
+        println!("\nSG ablation (--sg, not a paper configuration):");
+        println!(
+            "{:18} {:>10.2} {:>10.2}",
+            NetConfig::OsKitSg.name(),
+            send.mbit_s,
+            recv.mbit_s
+        );
+        check(
+            "SG send recovers the copy penalty (>= 90 Mbit/s)",
+            send.mbit_s >= 90.0,
+        );
+        check(
+            "SG sender gathers fragments instead of copying them",
+            send.sender.gathers > 0 && send.sender.bytes_gathered >= send.bytes,
+        );
+        println!(
+            "  mechanics: SG sender copied {} B, gathered {} B ({} gathers).",
+            send.sender.bytes_copied, send.sender.bytes_gathered, send.sender.gathers
+        );
+        if oskit::machine::Tracer::enabled() {
+            check(
+                "zero bytes copied at linux-dev::ether_tx under SG",
+                send.sender_boundaries
+                    .get("linux-dev", "ether_tx")
+                    .map(|b| b.bytes_copied == 0 && b.gathers > 0)
+                    .unwrap_or(false),
+            );
+            if boundaries {
+                println!("\nper-boundary breakdown (OSKit SG sender, send path):");
+                print!("{}", send.sender_boundaries);
+            }
+        }
+    }
 
     if boundaries {
         if !oskit::machine::Tracer::enabled() {

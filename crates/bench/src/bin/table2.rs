@@ -38,7 +38,7 @@ fn main() {
                 oskit = r.rtt_us;
                 oskit_breakdown = Some(r.client_boundaries.clone());
             }
-            NetConfig::Linux => {}
+            NetConfig::Linux | NetConfig::OsKitSg => {}
         }
     }
     if boundaries {

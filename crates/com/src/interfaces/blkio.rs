@@ -95,6 +95,47 @@ pub trait BufIo: BlkIo {
 }
 com_interface_decl!(BufIo, crate::guid::oskit_iid(0x82), "oskit_bufio");
 
+/// One contiguous piece of a scatter-gather view of a buffer object.
+///
+/// A fragment borrows the implementor's storage directly — exposing a
+/// fragment is zero-copy by construction, exactly like a successful
+/// [`BufIo::with_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct IoFragment<'a> {
+    /// The fragment's bytes.
+    pub data: &'a [u8],
+}
+
+/// Scatter-gather buffer I/O: the vectored extension of [`BufIo`].
+///
+/// [`BufIo::with_map`] answers "is the range *contiguous* in local
+/// memory?"; this interface relaxes the question to "is the range *in*
+/// local memory?", exposing it as an ordered list of contiguous
+/// fragments.  A chained packet (headers in one buffer, payload in
+/// another) that `with_map` must refuse can still be handed to
+/// scatter-gather-capable hardware without flattening — which is how the
+/// Table 1 send-path copy becomes avoidable when the driver supports it.
+///
+/// Contiguous implementors get the interface for free: the provided
+/// method presents the mapped range as a single fragment.
+pub trait SgBufIo: BufIo {
+    /// Calls `f` with bytes `[offset, offset+len)` as an ordered fragment
+    /// list, borrowed zero-copy from local storage.
+    ///
+    /// Returns [`Error::NotImpl`] when some part of the range does not
+    /// reside in local memory (the caller falls back to `with_map`/`read`)
+    /// and [`Error::Inval`] when the range exceeds the object.
+    fn with_map_fragments(
+        &self,
+        offset: usize,
+        len: usize,
+        f: &mut dyn FnMut(&[IoFragment<'_>]),
+    ) -> Result<()> {
+        self.with_map(offset, len, &mut |d| f(&[IoFragment { data: d }]))
+    }
+}
+com_interface_decl!(SgBufIo, crate::guid::oskit_iid(0x8d), "oskit_bufio_sg");
+
 /// A simple heap-backed [`BufIo`], used when packets must be manufactured
 /// from scratch (and by tests).
 pub struct VecBufIo {
@@ -184,7 +225,9 @@ impl BufIo for VecBufIo {
     }
 }
 
-crate::com_object!(VecBufIo, me, [BlkIo, BufIo]);
+impl SgBufIo for VecBufIo {}
+
+crate::com_object!(VecBufIo, me, [BlkIo, BufIo, SgBufIo]);
 
 /// Copies the full contents of a [`BufIo`] into a fresh `Vec`.
 ///
@@ -259,6 +302,37 @@ mod tests {
     fn bufio_to_vec_uses_map() {
         let b = VecBufIo::from_vec(vec![5, 6, 7]);
         assert_eq!(bufio_to_vec(&*b).unwrap(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn contiguous_bufio_maps_as_one_fragment() {
+        // The provided SgBufIo method: a contiguous object is a trivial
+        // one-fragment gather list.
+        let b = VecBufIo::from_vec((0..50).collect());
+        let mut frags = Vec::new();
+        b.with_map_fragments(10, 30, &mut |fs| {
+            frags = fs.iter().map(|f| f.data.to_vec()).collect();
+        })
+        .unwrap();
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], (10..40).collect::<Vec<u8>>());
+        // Bounds violations surface exactly as with_map's.
+        assert_eq!(
+            b.with_map_fragments(40, 11, &mut |_| panic!("must not run"))
+                .unwrap_err(),
+            Error::Inval
+        );
+    }
+
+    #[test]
+    fn bufio_queries_to_sg_bufio() {
+        // A client holding plain bufio can discover the scatter-gather
+        // extension, same discovery dance as blkio→bufio.
+        let b = VecBufIo::from_vec(vec![3; 8]);
+        let buf: Arc<dyn BufIo> = b.query::<dyn BufIo>().unwrap();
+        let sg = buf.query::<dyn SgBufIo>().unwrap();
+        sg.with_map_fragments(0, 8, &mut |fs| assert_eq!(fs[0].data.len(), 8))
+            .unwrap();
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub enum NetConfig {
     /// The OSKit: the FreeBSD stack bound to the encapsulated Linux
     /// driver through COM netio/bufio glue.
     OsKit,
+    /// The OSKit with the driver in `NETIF_F_SG` scatter-gather mode:
+    /// same stack, same glue, but discontiguous mbuf chains cross the
+    /// `ether_tx` seam as fragment lists instead of being copied.  An
+    /// ablation, not a paper configuration — the default `OsKit` numbers
+    /// are untouched.
+    OsKitSg,
 }
 
 impl NetConfig {
@@ -43,6 +49,7 @@ impl NetConfig {
             NetConfig::Linux => "Linux",
             NetConfig::FreeBsd => "FreeBSD",
             NetConfig::OsKit => "OSKit",
+            NetConfig::OsKitSg => "OSKit (SG driver)",
         }
     }
 }
@@ -157,13 +164,16 @@ fn build(sender_cfg: NetConfig, receiver_cfg: NetConfig) -> Testbed {
                          server: bool|
      -> Box<dyn FnOnce() -> Box<dyn Pipe> + Send> {
         match cfg {
-            NetConfig::FreeBsd | NetConfig::OsKit => {
+            NetConfig::FreeBsd | NetConfig::OsKit | NetConfig::OsKitSg => {
                 let (net, _) = oskit_freebsd_net_init(env);
                 if cfg == NetConfig::FreeBsd {
                     let ifp = attach_native_if(&net, nic);
                     ifconfig(&ifp, ip, MASK);
                 } else {
                     let dev = NetDevice::new("eth0", env, Arc::clone(nic));
+                    if cfg == NetConfig::OsKitSg {
+                        dev.set_features(oskit_linux_dev::NETIF_F_SG);
+                    }
                     let com = LinuxEtherDev::new(env, &dev);
                     let ether: Arc<dyn EtherDev> =
                         com.query::<dyn EtherDev>().expect("etherdev");

@@ -248,7 +248,7 @@ impl IpState {
             q.total = Some(hdr.frag_off + flat.len());
         }
         q.frags.insert(hdr.frag_off, flat);
-        let Some(total) = q.total else { return None };
+        let total = q.total?;
         // Complete?
         let mut have = 0;
         while have < total {

@@ -105,6 +105,18 @@ impl Mbuf {
         }
     }
 
+    /// The live bytes as a direct borrow, when the storage is local (a
+    /// small mbuf or a cluster); `None` for external storage, whose bytes
+    /// are only reachable through the foreign bufio's own map protocol.
+    pub fn local_data(&self) -> Option<&[u8]> {
+        match &self.data {
+            MbufData::Small(v) | MbufData::Cluster(v) => {
+                Some(&v[self.off..self.off + self.len])
+            }
+            MbufData::Ext(_) => None,
+        }
+    }
+
     /// Trims `n` bytes from the front.
     fn adj_front(&mut self, n: usize) {
         assert!(n <= self.len);
@@ -295,6 +307,38 @@ impl MbufChain {
         Some(first.with_data(|d| f(&d[..n])))
     }
 
+    /// Runs `f` over bytes `[off, off+len)` as an ordered list of
+    /// contiguous slices, one per mbuf touched, without flattening the
+    /// chain.  Returns `None` when any mbuf in the range has external
+    /// storage (its bytes are not directly borrowable).
+    pub fn with_fragments<R>(
+        &self,
+        mut off: usize,
+        mut len: usize,
+        f: impl FnOnce(&[&[u8]]) -> R,
+    ) -> Option<R> {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.pkt_len()),
+            "with_fragments beyond packet"
+        );
+        let mut frags: Vec<&[u8]> = Vec::with_capacity(self.bufs.len());
+        for m in &self.bufs {
+            if len == 0 {
+                break;
+            }
+            if off >= m.len() {
+                off -= m.len();
+                continue;
+            }
+            let d = m.local_data()?;
+            let take = (d.len() - off).min(len);
+            frags.push(&d[off..off + take]);
+            len -= take;
+            off = 0;
+        }
+        Some(f(&frags))
+    }
+
     /// Flattens to a `Vec` (tests, diagnostics).
     pub fn to_vec(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.pkt_len()];
@@ -415,6 +459,43 @@ mod tests {
         });
         let chain = MbufChain::from_mbuf(m);
         assert!(chain.is_contiguous());
+    }
+
+    #[test]
+    fn fragments_walk_the_chain_without_flattening() {
+        // Header mbuf + two clusters: the bulk-data shape TCP output makes.
+        let mut chain = MbufChain::from_slice(&[0xAA; 3000]);
+        chain.m_prepend(&[0xBB; 54]);
+        assert_eq!(chain.num_bufs(), 3);
+        let (n, total, first) = chain
+            .with_fragments(0, chain.pkt_len(), |fs| {
+                (fs.len(), fs.iter().map(|f| f.len()).sum::<usize>(), fs[0].to_vec())
+            })
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(total, 3054);
+        assert_eq!(first, vec![0xBB; 54]);
+        // Windowing: a sub-range skips and trims mbufs.
+        let lens = chain
+            .with_fragments(50, 2100, |fs| fs.iter().map(|f| f.len()).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(lens, vec![4, 2048, 48]);
+    }
+
+    #[test]
+    fn fragments_refuse_external_storage() {
+        let b = VecBufIo::from_vec(vec![1; 100]);
+        let mut chain = MbufChain::from_mbuf(Mbuf::ext(b, 0, 100));
+        chain.m_prepend(&[2; 14]);
+        assert!(chain.with_fragments(0, 114, |_| ()).is_none());
+        // A window that avoids the ext mbuf still works.
+        assert!(chain.with_fragments(0, 14, |fs| assert_eq!(fs.len(), 1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "with_fragments beyond packet")]
+    fn fragments_out_of_range_panics() {
+        MbufChain::from_slice(&[0u8; 10]).with_fragments(0, 11, |_| ());
     }
 
     #[test]

@@ -174,30 +174,27 @@ fn sock_input(
             closed = true;
         } else {
             match tcb.t_state {
-                TcpState::SynSent => {
+                TcpState::SynSent
                     if hdr.flags & (th::SYN | th::ACK) == (th::SYN | th::ACK)
-                        && hdr.ack == tcb.snd_nxt
-                    {
-                        tcb.rcv_nxt = hdr.seq.wrapping_add(1);
-                        tcb.rcv_adv = tcb.rcv_nxt;
-                        tcb.snd_una = hdr.ack;
-                        tcb.snd_wnd = u32::from(hdr.wnd);
-                        if let Some(mss) = hdr.mss_opt {
-                            tcb.t_maxseg = usize::from(mss).min(TCP_MSS);
-                        }
-                        tcb.t_state = TcpState::Established;
-                        tcb.clear_rexmt();
-                        tcb.t_flags.set(TFlags::ACKNOW);
+                        && hdr.ack == tcb.snd_nxt =>
+                {
+                    tcb.rcv_nxt = hdr.seq.wrapping_add(1);
+                    tcb.rcv_adv = tcb.rcv_nxt;
+                    tcb.snd_una = hdr.ack;
+                    tcb.snd_wnd = u32::from(hdr.wnd);
+                    if let Some(mss) = hdr.mss_opt {
+                        tcb.t_maxseg = usize::from(mss).min(TCP_MSS);
                     }
+                    tcb.t_state = TcpState::Established;
+                    tcb.clear_rexmt();
+                    tcb.t_flags.set(TFlags::ACKNOW);
                 }
-                TcpState::SynReceived => {
-                    if hdr.flags & th::ACK != 0 && hdr.ack == tcb.snd_nxt {
-                        tcb.t_state = TcpState::Established;
-                        tcb.snd_una = hdr.ack;
-                        tcb.snd_wnd = u32::from(hdr.wnd);
-                        tcb.clear_rexmt();
-                        announce_parent = tcb.take_parent();
-                    }
+                TcpState::SynReceived if hdr.flags & th::ACK != 0 && hdr.ack == tcb.snd_nxt => {
+                    tcb.t_state = TcpState::Established;
+                    tcb.snd_una = hdr.ack;
+                    tcb.snd_wnd = u32::from(hdr.wnd);
+                    tcb.clear_rexmt();
+                    announce_parent = tcb.take_parent();
                 }
                 _ => {}
             }

@@ -9,7 +9,7 @@
 //! cost one copy on the send path.
 
 use crate::bsd::mbuf::MbufChain;
-use oskit_com::interfaces::blkio::{BlkIo, BufIo};
+use oskit_com::interfaces::blkio::{BlkIo, BufIo, IoFragment, SgBufIo};
 use oskit_com::{com_object, new_com, Error, Result, SelfRef};
 use std::sync::Arc;
 
@@ -84,7 +84,33 @@ impl BufIo for MbufBufIo {
     }
 }
 
-com_object!(MbufBufIo, me, [BlkIo, BufIo]);
+impl SgBufIo for MbufBufIo {
+    fn with_map_fragments(
+        &self,
+        offset: usize,
+        len: usize,
+        f: &mut dyn FnMut(&[IoFragment<'_>]),
+    ) -> Result<()> {
+        // The vectored relaxation of `with_map`: every mbuf's bytes are
+        // already in local memory, so the chain maps as a fragment list
+        // with no flattening.  Only external (foreign-buffer) mbufs
+        // decline — their bytes live behind another component's map
+        // protocol.
+        let end = offset.checked_add(len).ok_or(Error::Inval)?;
+        if end > self.chain.pkt_len() {
+            return Err(Error::Inval);
+        }
+        self.chain
+            .with_fragments(offset, len, |parts| {
+                let frags: Vec<IoFragment<'_>> =
+                    parts.iter().map(|&data| IoFragment { data }).collect();
+                f(&frags);
+            })
+            .ok_or(Error::NotImpl)
+    }
+}
+
+com_object!(MbufBufIo, me, [BlkIo, BufIo, SgBufIo]);
 
 #[cfg(test)]
 mod tests {
@@ -117,6 +143,38 @@ mod tests {
         assert_eq!(b.read(&mut flat, 0).unwrap(), 1514);
         assert_eq!(&flat[..54], &[0xBB; 54]);
         assert_eq!(&flat[54..], &[0xDD; 1460]);
+    }
+
+    #[test]
+    fn chained_packet_maps_as_fragments() {
+        // The same chain that refuses `with_map` exposes itself as a
+        // zero-copy fragment list through the scatter-gather extension.
+        let mut chain = MbufChain::from_slice(&[0xDD; 1460]);
+        chain.m_prepend(&[0xBB; 54]);
+        let b = MbufBufIo::new(chain);
+        let mut lens = Vec::new();
+        b.with_map_fragments(0, 1514, &mut |fs| {
+            lens = fs.iter().map(|f| f.data.len()).collect();
+        })
+        .unwrap();
+        assert_eq!(lens, vec![54, 1460]);
+        assert_eq!(
+            b.with_map_fragments(0, 1515, &mut |_| panic!("must not run"))
+                .unwrap_err(),
+            Error::Inval
+        );
+    }
+
+    #[test]
+    fn ext_backed_chain_refuses_fragment_map() {
+        use oskit_com::interfaces::blkio::VecBufIo;
+        let foreign = VecBufIo::from_vec(vec![7; 64]);
+        let chain = MbufChain::from_mbuf(Mbuf::ext(foreign, 0, 64));
+        let b = MbufBufIo::new(chain);
+        assert!(matches!(
+            b.with_map_fragments(0, 64, &mut |_| ()),
+            Err(Error::NotImpl)
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub fn to_hex(data: &[u8]) -> String {
 
 /// Decodes hex into bytes; `None` on odd length or bad digits.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let b = s.as_bytes();

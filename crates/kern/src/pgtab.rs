@@ -283,7 +283,7 @@ mod tests {
         let pd = PageDir::new(&phys, &mut fr).unwrap();
         assert!(pd.map(&phys, &mut fr, 0xC000_0000_u32 & 0xFFFFF000, 0x0030_0000, MapFlags::KERNEL_RW));
         assert_eq!(
-            pd.translate(&phys, 0xC000_0ABC & 0xFFFFFFFF).unwrap() & !0xFFF,
+            pd.translate(&phys, 0xC000_0ABC).unwrap() & !0xFFF,
             0x0030_0000
         );
         // Offset within page preserved.

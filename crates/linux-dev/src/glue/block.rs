@@ -87,7 +87,7 @@ impl BlkIo for LinuxBlkIo {
             return Ok(0);
         }
         let sector_sz = SECTOR_SIZE as u64;
-        let aligned = offset % sector_sz == 0 && len % SECTOR_SIZE == 0;
+        let aligned = offset.is_multiple_of(sector_sz) && len.is_multiple_of(SECTOR_SIZE);
         let (first, mut data) = if aligned {
             (offset / sector_sz, buf[..len].to_vec())
         } else {
@@ -161,7 +161,7 @@ mod tests {
             b2.read(&mut back, 0).unwrap();
             for (i, &b) in back.iter().enumerate() {
                 let in_patch =
-                    i >= SECTOR_SIZE - 5 && i < SECTOR_SIZE + 5;
+                    (SECTOR_SIZE - 5..SECTOR_SIZE + 5).contains(&i);
                 if in_patch {
                     assert_eq!(b, 0xFF, "patch byte {i}");
                 } else {

@@ -11,10 +11,10 @@
 //! Otherwise, the glue code allocates a normal skbuff and calls the bufio
 //! interface's read method to copy the data into the buffer."
 
-use crate::linux::netdevice::NetDevice;
+use crate::linux::netdevice::{NetDevice, NETIF_F_SG};
 use crate::linux::sched::CurrentPtr;
 use crate::linux::skbuff::SkBuff;
-use oskit_com::interfaces::blkio::{BlkIo, BufIo};
+use oskit_com::interfaces::blkio::{BlkIo, BufIo, SgBufIo};
 use oskit_com::interfaces::netio::{EtherAddr, EtherDev, NetIo};
 use oskit_com::{com_interface_decl, com_object, new_com, oskit_iid, Error, IUnknown, Query, Result, SelfRef};
 use oskit_osenv::OsEnv;
@@ -100,7 +100,11 @@ impl SkbIo for SkbBufIo {
     }
 }
 
-com_object!(SkbBufIo, me, [BlkIo, BufIo, SkbIo]);
+// An skbuff is contiguous, so the provided single-fragment gather view
+// suffices.
+impl SgBufIo for SkbBufIo {}
+
+com_object!(SkbBufIo, me, [BlkIo, BufIo, SgBufIo, SkbIo]);
 
 /// The COM Ethernet device exported by the Linux driver glue.
 pub struct LinuxEtherDev {
@@ -189,11 +193,36 @@ impl NetIo for LinuxTxNetIo {
             return Ok(());
         }
 
-        // Foreign but mappable: "fake" skbuff aliasing the data — no copy.
-        match pkt.with_map(0, len, &mut |_| {}) {
+        // SG-capable driver: a foreign packet that can expose its bytes
+        // as local fragments goes down as a fragment-list "fake" skbuff —
+        // no flattening, no copy.  This is the NETIF_F_SG path real Linux
+        // later grew; the probe-map/copy ladder below remains the
+        // paper-faithful default.
+        if self.dev.has_feature(NETIF_F_SG) {
+            if let Some(sg) = pkt.query::<dyn SgBufIo>() {
+                match SkBuff::fake_sg(sg, len) {
+                    Ok(skb) => {
+                        self.dev.hard_start_xmit(&skb);
+                        return Ok(());
+                    }
+                    // Fragments not locally mappable (e.g. external
+                    // storage): fall through to the ladder.
+                    Err(Error::NotImpl) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Foreign but contiguous: transmit inside the mapping itself, so
+        // the probe that proves mappability is also the map the hardware
+        // hand-off reads through — one `with_map` per packet, no copy.
+        let mut sent = false;
+        match pkt.with_map(0, len, &mut |frame| {
+            self.dev.xmit_frame(frame);
+            sent = true;
+        }) {
             Ok(()) => {
-                let skb = SkBuff::fake_mapped(Arc::clone(&pkt), len);
-                self.dev.hard_start_xmit(&skb);
+                debug_assert!(sent);
                 Ok(())
             }
             Err(Error::NotImpl) => {
@@ -258,18 +287,56 @@ mod tests {
             Err(Error::NotImpl)
         }
     }
-    com_object!(ChainBufIo, me, [BlkIo, BufIo]);
+    impl oskit_com::interfaces::blkio::SgBufIo for ChainBufIo {
+        fn with_map_fragments(
+            &self,
+            mut offset: usize,
+            mut len: usize,
+            f: &mut dyn FnMut(&[oskit_com::interfaces::blkio::IoFragment<'_>]),
+        ) -> Result<()> {
+            let total: usize = self.parts.iter().map(Vec::len).sum();
+            let end = offset.checked_add(len).ok_or(Error::Inval)?;
+            if end > total {
+                return Err(Error::Inval);
+            }
+            let mut frags = Vec::new();
+            for p in &self.parts {
+                if len == 0 {
+                    break;
+                }
+                if offset >= p.len() {
+                    offset -= p.len();
+                    continue;
+                }
+                let take = (p.len() - offset).min(len);
+                frags.push(oskit_com::interfaces::blkio::IoFragment {
+                    data: &p[offset..offset + take],
+                });
+                len -= take;
+                offset = 0;
+            }
+            f(&frags);
+            Ok(())
+        }
+    }
+    com_object!(ChainBufIo, me, [BlkIo, BufIo, SgBufIo]);
 
     type Keep = (Arc<LinuxEtherDev>, Arc<LinuxEtherDev>, Arc<dyn NetIo>);
-
-    fn setup() -> (
+    /// (sim, machine a, tx netio a, machine b, frames b received, keep-alives).
+    type Rig = (
         Arc<Sim>,
         Arc<Machine>,
         Arc<dyn NetIo>,
         Arc<Machine>,
         Arc<Mutex<Vec<Vec<u8>>>>,
         Keep,
-    ) {
+    );
+
+    fn setup() -> Rig {
+        setup_with(false)
+    }
+
+    fn setup_with(sg: bool) -> Rig {
         let sim = Sim::new();
         let ma = Machine::new(&sim, "a", 1 << 20);
         let mb = Machine::new(&sim, "b", 1 << 20);
@@ -279,6 +346,9 @@ mod tests {
         let ea = OsEnv::new(&ma);
         let eb = OsEnv::new(&mb);
         let da = NetDevice::new("eth0", &ea, na);
+        if sg {
+            da.set_features(NETIF_F_SG);
+        }
         let db = NetDevice::new("eth0", &eb, nb);
         let ca = LinuxEtherDev::new(&ea, &da);
         let cb = LinuxEtherDev::new(&eb, &db);
@@ -349,6 +419,66 @@ mod tests {
         // Exactly one copy of the whole frame (the paper's send-path
         // penalty).
         let m = ma.meter.snapshot();
+        assert_eq!(m.copies, 1);
+        assert_eq!(m.bytes_copied, 314);
+    }
+
+    #[test]
+    fn sg_driver_gathers_discontiguous_packet_without_copy() {
+        // The same chain that costs a copy on the default driver goes
+        // down as a fragment list when NETIF_F_SG is on: zero copies,
+        // one gather.
+        let (sim, ma, tx_a, _mb, got, _keep) = setup_with(true);
+        let f = frame(&[0x33; 300]);
+        let parts = vec![f[..100].to_vec(), f[100..].to_vec()];
+        let s2 = Arc::clone(&sim);
+        sim.spawn("tx", move || {
+            let pkt = new_com(
+                ChainBufIo {
+                    me: SelfRef::new(),
+                    parts,
+                },
+                |o| &o.me,
+            );
+            tx_a.push(pkt as Arc<dyn BufIo>).unwrap();
+            let rec = Arc::new(SleepRecord::new());
+            let _ = rec.wait_timeout(&s2, 10_000_000);
+        });
+        sim.run();
+        assert_eq!(got.lock().len(), 1);
+        assert_eq!(got.lock()[0].len(), 314);
+        assert_eq!(&got.lock()[0][14..], &[0x33; 300]);
+        let m = ma.meter.snapshot();
+        assert_eq!(m.copies, 0);
+        assert_eq!(m.bytes_copied, 0);
+        assert_eq!(m.gathers, 1);
+        assert_eq!(m.bytes_gathered, 314);
+    }
+
+    #[test]
+    fn non_sg_driver_never_gathers() {
+        // With the feature off, the SG interface is never even queried:
+        // the copy ladder runs exactly as in the paper.
+        let (sim, ma, tx_a, _mb, got, _keep) = setup();
+        let f = frame(&[0x44; 300]);
+        let parts = vec![f[..100].to_vec(), f[100..].to_vec()];
+        let s2 = Arc::clone(&sim);
+        sim.spawn("tx", move || {
+            let pkt = new_com(
+                ChainBufIo {
+                    me: SelfRef::new(),
+                    parts,
+                },
+                |o| &o.me,
+            );
+            tx_a.push(pkt as Arc<dyn BufIo>).unwrap();
+            let rec = Arc::new(SleepRecord::new());
+            let _ = rec.wait_timeout(&s2, 10_000_000);
+        });
+        sim.run();
+        assert_eq!(got.lock().len(), 1);
+        let m = ma.meter.snapshot();
+        assert_eq!(m.gathers, 0);
         assert_eq!(m.copies, 1);
         assert_eq!(m.bytes_copied, 314);
     }

@@ -7,12 +7,20 @@
 //! next, keeping one command outstanding at the drive (no tagged
 //! queueing, as befits 1997 IDE).
 
+// Donor idiom: block requests complete with success or a bare error
+// flag, as Linux 2.0's buffer-head uptodate bit does.
+#![allow(clippy::result_unit_err)]
+
 use super::sched::WaitQueue;
 use oskit_machine::{Disk, SECTOR_SIZE};
 use oskit_osenv::OsEnv;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::{Arc, Weak};
+
+/// What a completed request yields: the sectors read (`Some` for
+/// reads, `None` for writes) or a bare error flag.
+pub type BlkResult = Result<Option<Vec<u8>>, ()>;
 
 /// Request direction (`READ`/`WRITE`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,7 +44,7 @@ pub struct Request {
     /// Completion notification.
     pub wq: Arc<WaitQueue>,
     /// Completion result: read data or error flag.
-    pub result: Arc<Mutex<Option<Result<Option<Vec<u8>>, ()>>>>,
+    pub result: Arc<Mutex<Option<BlkResult>>>,
 }
 
 struct QueueState {
@@ -111,7 +119,7 @@ impl IdeDrive {
         sector: u64,
         nr_sectors: usize,
         data: Option<Vec<u8>>,
-    ) -> Result<Option<Vec<u8>>, ()> {
+    ) -> BlkResult {
         let wq = Arc::new(WaitQueue::new());
         let result = Arc::new(Mutex::new(None));
         self.submit(Request {

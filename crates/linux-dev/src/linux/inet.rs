@@ -9,6 +9,11 @@
 //! consistent with the paper's observation that the BSD protocols were
 //! "generally considered to have much more mature network protocols".
 
+// Donor idiom: kernel entry points report failure the way Linux 2.0's
+// `int` returns do — success or a bare error, with no error taxonomy.
+// The COM socket glue translates to `oskit_com::Error` at the boundary.
+#![allow(clippy::result_unit_err)]
+
 use super::netdevice::{eth_p, NetDevice, ETH_HLEN};
 use super::sched::WaitQueue;
 use super::skbuff::SkBuff;
@@ -457,45 +462,39 @@ impl LinuxSock {
                 return;
             }
             match pcb.state {
-                TcpState::Listen => {
-                    if flags & tf::SYN != 0 && pcb.accept_queue.len() < pcb.backlog {
-                        // Spawn a child in SYN_RECV.
-                        let inet = self.inet();
-                        let child = LinuxSock::new(&inet);
-                        {
-                            let mut cp = child.pcb.lock();
-                            cp.state = TcpState::SynRecv;
-                            cp.local = pcb.local;
-                            cp.remote = src;
-                            cp.rcv_nxt = seq.wrapping_add(1);
-                            cp.snd_una = 2000;
-                            cp.snd_nxt = 2000;
-                            cp.snd_wnd = u32::from(wnd);
-                        }
-                        inet.conns.lock().insert(
-                            (pcb.local.1, src.0, src.1),
-                            Arc::clone(&child),
-                        );
-                        child_to_announce = Some(child);
+                TcpState::Listen if flags & tf::SYN != 0 && pcb.accept_queue.len() < pcb.backlog => {
+                    // Spawn a child in SYN_RECV.
+                    let inet = self.inet();
+                    let child = LinuxSock::new(&inet);
+                    {
+                        let mut cp = child.pcb.lock();
+                        cp.state = TcpState::SynRecv;
+                        cp.local = pcb.local;
+                        cp.remote = src;
+                        cp.rcv_nxt = seq.wrapping_add(1);
+                        cp.snd_una = 2000;
+                        cp.snd_nxt = 2000;
+                        cp.snd_wnd = u32::from(wnd);
                     }
+                    inet.conns.lock().insert(
+                        (pcb.local.1, src.0, src.1),
+                        Arc::clone(&child),
+                    );
+                    child_to_announce = Some(child);
                 }
-                TcpState::SynSent => {
-                    if flags & tf::SYN != 0 && flags & tf::ACK != 0 {
-                        pcb.rcv_nxt = seq.wrapping_add(1);
-                        pcb.snd_una = ack;
-                        pcb.snd_wnd = u32::from(wnd);
-                        pcb.state = TcpState::Established;
-                        pcb.rto_deadline = u64::MAX;
-                        send_ack = true;
-                        wake_conn = true;
-                    }
+                TcpState::SynSent if flags & tf::SYN != 0 && flags & tf::ACK != 0 => {
+                    pcb.rcv_nxt = seq.wrapping_add(1);
+                    pcb.snd_una = ack;
+                    pcb.snd_wnd = u32::from(wnd);
+                    pcb.state = TcpState::Established;
+                    pcb.rto_deadline = u64::MAX;
+                    send_ack = true;
+                    wake_conn = true;
                 }
-                TcpState::SynRecv => {
-                    if flags & tf::ACK != 0 && ack == pcb.snd_nxt {
-                        pcb.state = TcpState::Established;
-                        pcb.rto_deadline = u64::MAX;
-                        // Parent hears about us below (already queued).
-                    }
+                TcpState::SynRecv if flags & tf::ACK != 0 && ack == pcb.snd_nxt => {
+                    pcb.state = TcpState::Established;
+                    pcb.rto_deadline = u64::MAX;
+                    // Parent hears about us below (already queued).
                 }
                 _ => {}
             }

@@ -10,8 +10,13 @@ use super::skbuff::SkBuff;
 use oskit_machine::Nic;
 use oskit_osenv::OsEnv;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+
+/// `NETIF_F_SG`: the device accepts fragment-list skbuffs and gathers
+/// them with DMA — the capability bit that makes the Table 1 send-path
+/// copy avoidable.  Off by default, as on the paper's 1997-era hardware.
+pub const NETIF_F_SG: u32 = 1;
 
 /// Ethernet protocol numbers (host byte order).
 pub mod eth_p {
@@ -49,6 +54,8 @@ pub struct NetDevice {
     pub stats: NetStats,
     env: Arc<OsEnv>,
     hw: Arc<Nic>,
+    /// `dev->features` capability bits ([`NETIF_F_SG`]).
+    features: AtomicU32,
     rx_handler: Mutex<Option<RxHandler>>,
     opened: Mutex<bool>,
 }
@@ -63,9 +70,21 @@ impl NetDevice {
             stats: NetStats::default(),
             env: Arc::clone(env),
             hw,
+            features: AtomicU32::new(0),
             rx_handler: Mutex::new(None),
             opened: Mutex::new(false),
         })
+    }
+
+    /// Enables capability bits (e.g. [`NETIF_F_SG`]) — the runtime knob
+    /// an SG-capable driver variant sets at probe time.
+    pub fn set_features(&self, bits: u32) {
+        self.features.fetch_or(bits, Ordering::Relaxed);
+    }
+
+    /// Whether every bit in `bits` is enabled.
+    pub fn has_feature(&self, bits: u32) -> bool {
+        self.features.load(Ordering::Relaxed) & bits == bits
     }
 
     /// Registers the upper-layer packet handler (`dev_add_pack`); frames
@@ -128,16 +147,50 @@ impl NetDevice {
         }
     }
 
-    /// `dev->hard_start_xmit()`: transmits one frame.  The hardware wants
-    /// one contiguous buffer — which an skbuff by construction is; mapped
-    /// "fake" skbuffs read through their mapping with no copy.
+    /// `dev->hard_start_xmit()`: transmits one frame.  On the classic
+    /// path the hardware wants one contiguous buffer — which an skbuff by
+    /// construction is; mapped "fake" skbuffs read through their mapping
+    /// with no copy.  A fragment-list skbuff instead takes the
+    /// [`NETIF_F_SG`] path: the driver walks `skb_shinfo->frags` and
+    /// programs one gather descriptor per fragment, charging descriptor
+    /// writes (a `gather`), never a copy.
     pub fn hard_start_xmit(&self, skb: &SkBuff) {
+        if skb.is_sg() {
+            assert!(
+                self.has_feature(NETIF_F_SG),
+                "sg skb on non-sg device {}",
+                self.name
+            );
+            assert!(
+                skb.len() <= self.mtu + ETH_HLEN,
+                "oversized frame for {}",
+                self.name
+            );
+            skb.with_frags(|frags| {
+                let parts: Vec<&[u8]> = frags.iter().map(|fr| fr.data).collect();
+                self.env.machine.charge_gather_at(
+                    oskit_machine::boundary!("linux-dev", "ether_tx"),
+                    skb.len(),
+                    parts.len(),
+                );
+                self.hw.transmit_sg(&parts);
+            });
+            self.stats.tx_packets.fetch_add(1, Ordering::Relaxed);
+        } else {
+            skb.with_data(|d| self.xmit_frame(d));
+        }
+    }
+
+    /// The contiguous tail of [`NetDevice::hard_start_xmit`]: hands one
+    /// already-flat frame to the hardware.  Public so glue code holding a
+    /// mapped foreign frame can transmit inside its own single mapping.
+    pub fn xmit_frame(&self, frame: &[u8]) {
         assert!(
-            skb.len() <= self.mtu + ETH_HLEN,
+            frame.len() <= self.mtu + ETH_HLEN,
             "oversized frame for {}",
             self.name
         );
-        skb.with_data(|d| self.hw.transmit(d));
+        self.hw.transmit(frame);
         self.stats.tx_packets.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -204,6 +257,38 @@ mod tests {
         assert_eq!(&frame[ETH_HLEN..], b"payload-bytes");
         assert_eq!(db.stats.rx_packets.load(Ordering::Relaxed), 1);
         assert_eq!(da.stats.tx_packets.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sg_device_transmits_fragment_skbs_without_copying() {
+        let (sim, da, db) = two_devices();
+        da.set_features(NETIF_F_SG);
+        assert!(da.has_feature(NETIF_F_SG));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = Arc::clone(&got);
+        db.set_rx_handler(move |skb| g2.lock().push(skb.to_vec()));
+        let s2 = Arc::clone(&sim);
+        let da2 = Arc::clone(&da);
+        sim.spawn("tx", move || {
+            let b = oskit_com::interfaces::blkio::VecBufIo::from_vec(vec![0x5A; 80]);
+            let skb = crate::linux::skbuff::SkBuff::fake_sg(b, 80).unwrap();
+            da2.hard_start_xmit(&skb);
+            let rec = Arc::new(SleepRecord::new());
+            let _ = rec.wait_timeout(&s2, 10_000_000);
+        });
+        sim.run();
+        assert_eq!(got.lock().len(), 1);
+        assert_eq!(got.lock()[0], vec![0x5A; 80]);
+        assert_eq!(da.stats.tx_packets.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sg skb on non-sg device")]
+    fn non_sg_device_rejects_fragment_skbs() {
+        let (_sim, da, _db) = two_devices();
+        let b = oskit_com::interfaces::blkio::VecBufIo::from_vec(vec![0u8; 8]);
+        let skb = crate::linux::skbuff::SkBuff::fake_sg(b, 8).unwrap();
+        da.hard_start_xmit(&skb);
     }
 
     #[test]

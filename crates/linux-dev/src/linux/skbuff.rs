@@ -8,7 +8,8 @@
 //! this data" that the glue manufactures when a foreign `bufio` maps
 //! contiguously (§4.7.3) — read-only, used only on the transmit hand-off.
 
-use oskit_com::interfaces::blkio::BufIo;
+use oskit_com::interfaces::blkio::{BufIo, IoFragment, SgBufIo};
+use oskit_com::{Error, Result};
 use std::sync::Arc;
 
 /// Where an skbuff's bytes live.
@@ -17,6 +18,10 @@ pub enum SkbStorage {
     Owned(Vec<u8>),
     /// A "fake" skbuff aliasing a foreign mapped buffer (zero copy).
     Mapped(Arc<dyn BufIo>),
+    /// A fragment-list "fake" skbuff aliasing a foreign scatter-gather
+    /// buffer — the discontiguous analogue of [`SkbStorage::Mapped`],
+    /// mirroring Linux's `skb_shinfo->frags` page list.
+    SgMapped(Arc<dyn SgBufIo>),
 }
 
 /// The Linux packet buffer.
@@ -68,21 +73,61 @@ impl SkBuff {
 
     /// Builds a read-only "fake skbuff" aliasing a mapped foreign buffer
     /// (§4.7.3); `len` is the packet length.
-    pub fn fake_mapped(bufio: Arc<dyn BufIo>, len: usize) -> SkBuff {
-        let end = (bufio.get_size().unwrap_or(len as u64) as usize).max(len);
-        SkBuff {
+    ///
+    /// Fails with [`Error::Inval`] when the buffer holds fewer than `len`
+    /// bytes — a too-short bufio must be rejected here, not papered over
+    /// by growing `end` past the storage it aliases.
+    pub fn fake_mapped(bufio: Arc<dyn BufIo>, len: usize) -> Result<SkBuff> {
+        let size = bufio.get_size()? as usize;
+        if len > size {
+            return Err(Error::Inval);
+        }
+        Ok(SkBuff {
             storage: SkbStorage::Mapped(bufio),
             data: 0,
             tail: len,
-            end,
+            end: size,
             dev: None,
             protocol: 0,
+        })
+    }
+
+    /// Builds a read-only fragment-list "fake skbuff" aliasing a foreign
+    /// scatter-gather buffer: the `NETIF_F_SG` counterpart of
+    /// [`SkBuff::fake_mapped`], with the fragment list standing in for
+    /// `skb_shinfo->frags`.
+    ///
+    /// Construction probes the fragment mapping once (as Linux fills the
+    /// frag descriptors when the skb is built): a buffer that cannot
+    /// expose its range as local fragments fails with
+    /// [`Error::NotImpl`] so the caller can fall back to the
+    /// contiguous-map/copy ladder, and a too-short buffer fails with
+    /// [`Error::Inval`].
+    pub fn fake_sg(sg: Arc<dyn SgBufIo>, len: usize) -> Result<SkBuff> {
+        let size = sg.get_size()? as usize;
+        if len > size {
+            return Err(Error::Inval);
         }
+        sg.with_map_fragments(0, len, &mut |_| {})?;
+        Ok(SkBuff {
+            storage: SkbStorage::SgMapped(sg),
+            data: 0,
+            tail: len,
+            end: size,
+            dev: None,
+            protocol: 0,
+        })
     }
 
     /// Whether this is a writable, owned skbuff.
     pub fn is_owned(&self) -> bool {
         matches!(self.storage, SkbStorage::Owned(_))
+    }
+
+    /// Whether this is a fragment-list (scatter-gather) skbuff, which
+    /// only an `NETIF_F_SG`-capable device can transmit.
+    pub fn is_sg(&self) -> bool {
+        matches!(self.storage, SkbStorage::SgMapped(_))
     }
 
     /// `skb->len`: live byte count.
@@ -129,7 +174,7 @@ impl SkBuff {
         self.tail += len;
         match &mut self.storage {
             SkbStorage::Owned(v) => &mut v[start..start + len],
-            SkbStorage::Mapped(_) => panic!("skb_put on mapped skb"),
+            SkbStorage::Mapped(_) | SkbStorage::SgMapped(_) => panic!("skb_put on mapped skb"),
         }
     }
 
@@ -145,7 +190,7 @@ impl SkBuff {
         let start = self.data;
         match &mut self.storage {
             SkbStorage::Owned(v) => &mut v[start..start + len],
-            SkbStorage::Mapped(_) => panic!("skb_push on mapped skb"),
+            SkbStorage::Mapped(_) | SkbStorage::SgMapped(_) => panic!("skb_push on mapped skb"),
         }
     }
 
@@ -167,6 +212,11 @@ impl SkBuff {
 
     /// Runs `f` over the live bytes (works for owned and mapped storage —
     /// this is the zero-copy read path the driver transmit uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fragment-list skbuff: its bytes are not one contiguous
+    /// run — an SG-capable driver must use [`SkBuff::with_frags`].
     pub fn with_data<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
         match &self.storage {
             SkbStorage::Owned(v) => f(&v[self.data..self.tail]),
@@ -181,6 +231,31 @@ impl SkBuff {
                 .expect("mapped skb lost its mapping");
                 out.expect("with_map did not call back")
             }
+            SkbStorage::SgMapped(_) => panic!("with_data on sg skb"),
+        }
+    }
+
+    /// Runs `f` over the live bytes as a fragment list — the
+    /// `skb_shinfo->frags` walk an SG driver performs.  Owned and
+    /// contiguous-mapped skbuffs present a single fragment, so a driver
+    /// written against this interface handles every storage kind.
+    pub fn with_frags<R>(&self, f: impl FnOnce(&[IoFragment<'_>]) -> R) -> R {
+        match &self.storage {
+            SkbStorage::Owned(v) => f(&[IoFragment {
+                data: &v[self.data..self.tail],
+            }]),
+            SkbStorage::Mapped(_) => self.with_data(|d| f(&[IoFragment { data: d }])),
+            SkbStorage::SgMapped(b) => {
+                let mut out = None;
+                let mut f = Some(f);
+                b.with_map_fragments(self.data, self.tail - self.data, &mut |frags| {
+                    if let Some(f) = f.take() {
+                        out = Some(f(frags));
+                    }
+                })
+                .expect("sg skb lost its mapping");
+                out.expect("with_map_fragments did not call back")
+            }
         }
     }
 
@@ -188,13 +263,19 @@ impl SkBuff {
     pub fn data_mut(&mut self) -> &mut [u8] {
         match &mut self.storage {
             SkbStorage::Owned(v) => &mut v[self.data..self.tail],
-            SkbStorage::Mapped(_) => panic!("data_mut on mapped skb"),
+            SkbStorage::Mapped(_) | SkbStorage::SgMapped(_) => panic!("data_mut on mapped skb"),
         }
     }
 
     /// Copies the live bytes out (diagnostics/tests).
     pub fn to_vec(&self) -> Vec<u8> {
-        self.with_data(|d| d.to_vec())
+        self.with_frags(|frags| {
+            let mut v = Vec::with_capacity(self.len());
+            for fr in frags {
+                v.extend_from_slice(fr.data);
+            }
+            v
+        })
     }
 }
 
@@ -247,8 +328,9 @@ mod tests {
     #[test]
     fn mapped_skb_is_zero_copy_readable() {
         let b = VecBufIo::from_vec(vec![9u8; 64]);
-        let skb = SkBuff::fake_mapped(b, 64);
+        let skb = SkBuff::fake_mapped(b, 64).unwrap();
         assert!(!skb.is_owned());
+        assert!(!skb.is_sg());
         assert_eq!(skb.len(), 64);
         skb.with_data(|d| assert!(d.iter().all(|&x| x == 9)));
     }
@@ -257,8 +339,53 @@ mod tests {
     #[should_panic(expected = "skb_put on mapped skb")]
     fn mapped_skb_is_read_only() {
         let b = VecBufIo::from_vec(vec![0u8; 64]);
-        let mut skb = SkBuff::fake_mapped(b, 32);
+        let mut skb = SkBuff::fake_mapped(b, 32).unwrap();
         skb.put(1);
+    }
+
+    #[test]
+    fn fake_mapped_rejects_short_bufio() {
+        // A bufio shorter than the claimed packet length must be refused,
+        // not silently masked by growing `end`.
+        let b = VecBufIo::from_vec(vec![0u8; 10]);
+        assert!(matches!(SkBuff::fake_mapped(b, 11), Err(Error::Inval)));
+    }
+
+    #[test]
+    fn sg_skb_walks_fragments() {
+        // A contiguous SgBufIo presents one fragment; the walk matches
+        // the bytes exactly.
+        let b = VecBufIo::from_vec((0..40).collect());
+        let skb = SkBuff::fake_sg(b, 40).unwrap();
+        assert!(skb.is_sg());
+        assert!(!skb.is_owned());
+        let n = skb.with_frags(|frags| frags.len());
+        assert_eq!(n, 1);
+        assert_eq!(skb.to_vec(), (0..40).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn fake_sg_rejects_short_bufio() {
+        let b = VecBufIo::from_vec(vec![0u8; 10]);
+        assert!(matches!(SkBuff::fake_sg(b, 11), Err(Error::Inval)));
+    }
+
+    #[test]
+    #[should_panic(expected = "with_data on sg skb")]
+    fn sg_skb_refuses_contiguous_access() {
+        let b = VecBufIo::from_vec(vec![0u8; 8]);
+        let skb = SkBuff::fake_sg(b, 8).unwrap();
+        skb.with_data(|_| ());
+    }
+
+    #[test]
+    fn owned_skb_presents_one_fragment() {
+        let mut skb = SkBuff::alloc(32);
+        skb.put(5).copy_from_slice(&[1, 2, 3, 4, 5]);
+        skb.with_frags(|frags| {
+            assert_eq!(frags.len(), 1);
+            assert_eq!(frags[0].data, &[1, 2, 3, 4, 5]);
+        });
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct CostModel {
     pub per_layer_ns: u64,
     /// Fixed cost of taking one hardware interrupt, in nanoseconds.
     pub irq_ns: u64,
+    /// Cost of programming one scatter-gather descriptor (one fragment
+    /// handed to gathering DMA hardware), in nanoseconds.  The CPU writes
+    /// a (address, length) pair instead of copying the fragment — this is
+    /// the whole economics of an SG-capable driver.
+    pub sg_frag_ns: u64,
     /// Fixed syscall/entry cost, in nanoseconds (used by the in-kernel
     /// baselines of §5 which factored syscall overhead *out*; kept at zero
     /// by default for parity with the paper's methodology).
@@ -44,6 +49,7 @@ impl Default for CostModel {
             crossing_ns: 500,
             per_layer_ns: 2_000,
             irq_ns: 5_000,
+            sg_frag_ns: 300,
             syscall_ns: 0,
         }
     }
@@ -77,6 +83,11 @@ pub struct WorkMeter {
     pub bytes_copied: AtomicU64,
     /// Number of discrete copy operations.
     pub copies: AtomicU64,
+    /// Total bytes handed to scatter-gather DMA as fragment lists
+    /// (descriptors programmed, nothing copied by the CPU).
+    pub bytes_gathered: AtomicU64,
+    /// Number of scatter-gather hand-offs.
+    pub gathers: AtomicU64,
     /// Component-boundary (COM/glue) crossings.
     pub crossings: AtomicU64,
     /// Bytes checksummed.
@@ -95,6 +106,8 @@ impl WorkMeter {
         WorkSnapshot {
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             copies: self.copies.load(Ordering::Relaxed),
+            bytes_gathered: self.bytes_gathered.load(Ordering::Relaxed),
+            gathers: self.gathers.load(Ordering::Relaxed),
             crossings: self.crossings.load(Ordering::Relaxed),
             bytes_checksummed: self.bytes_checksummed.load(Ordering::Relaxed),
             irqs: self.irqs.load(Ordering::Relaxed),
@@ -107,6 +120,8 @@ impl WorkMeter {
     pub fn reset(&self) {
         self.bytes_copied.store(0, Ordering::Relaxed);
         self.copies.store(0, Ordering::Relaxed);
+        self.bytes_gathered.store(0, Ordering::Relaxed);
+        self.gathers.store(0, Ordering::Relaxed);
         self.crossings.store(0, Ordering::Relaxed);
         self.bytes_checksummed.store(0, Ordering::Relaxed);
         self.irqs.store(0, Ordering::Relaxed);
@@ -122,6 +137,10 @@ pub struct WorkSnapshot {
     pub bytes_copied: u64,
     /// See [`WorkMeter::copies`].
     pub copies: u64,
+    /// See [`WorkMeter::bytes_gathered`].
+    pub bytes_gathered: u64,
+    /// See [`WorkMeter::gathers`].
+    pub gathers: u64,
     /// See [`WorkMeter::crossings`].
     pub crossings: u64,
     /// See [`WorkMeter::bytes_checksummed`].

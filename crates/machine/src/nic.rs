@@ -130,6 +130,29 @@ impl Nic {
     /// NIC DMAs autonomously).  Oversized frames panic — the driver must
     /// respect the MTU, as real hardware would reject them.
     pub fn transmit(&self, frame: &[u8]) {
+        self.transmit_assembled(frame.to_vec());
+    }
+
+    /// Transmits a frame supplied as a fragment list (driver → wire,
+    /// scatter-gather mode).
+    ///
+    /// The gathering DMA engine walks the descriptors and assembles the
+    /// frame on its way onto the wire; like the contiguous [`Nic::transmit`]
+    /// path, that movement is the NIC's work, not the CPU's, so no copy is
+    /// charged.  Timing on the wire is identical to transmitting the
+    /// flattened frame — serialization only sees bytes.
+    pub fn transmit_sg(&self, frags: &[&[u8]]) {
+        let total: usize = frags.iter().map(|f| f.len()).sum();
+        let mut frame = Vec::with_capacity(total);
+        for f in frags {
+            frame.extend_from_slice(f);
+        }
+        self.transmit_assembled(frame);
+    }
+
+    /// The common tail of both transmit flavors: wire occupancy,
+    /// fault injection, and delivery scheduling.
+    fn transmit_assembled(&self, frame: Vec<u8>) {
         assert!(frame.len() <= MAX_FRAME, "frame exceeds MTU: {}", frame.len());
         let Some(machine) = self.machine.upgrade() else {
             return;
@@ -140,7 +163,7 @@ impl Nic {
         let dropped = self
             .config
             .drop_every
-            .is_some_and(|every| n % every == 0);
+            .is_some_and(|every| n.is_multiple_of(every));
         if dropped {
             self.wire_dropped.fetch_add(1, Ordering::Relaxed);
         }
@@ -158,9 +181,8 @@ impl Nic {
             return;
         }
         let arrival = start + self.config.latency_ns;
-        let data = frame.to_vec();
         let sim = Arc::clone(&machine.sim);
-        sim.at_abs(arrival, move || peer.wire_deliver(data));
+        sim.at_abs(arrival, move || peer.wire_deliver(frame));
     }
 
     /// Frames destroyed by injected wire faults.
@@ -273,6 +295,43 @@ mod tests {
         assert_eq!(times.len(), 2);
         // Second frame arrives one serialization time after the first.
         assert_eq!(times[1] - times[0], WireConfig::default().serialize_ns(1514));
+    }
+
+    #[test]
+    fn sg_transmit_gathers_fragments_onto_the_wire() {
+        let sim = Sim::new();
+        let (_ma, na, mb, nb) = pair(&sim);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = Arc::clone(&got);
+        let nb2 = Arc::clone(&nb);
+        mb.irq.install(nb.irq_line(), move |_| {
+            while let Some(f) = nb2.rx_pop() {
+                g2.lock().push(f);
+            }
+        });
+        mb.irq.enable();
+        let s2 = Arc::clone(&sim);
+        let na2 = Arc::clone(&na);
+        sim.spawn("tx", move || {
+            na2.transmit_sg(&[&[0x11; 14], &[0x22; 100], &[0x33; 6]]);
+            let done = Arc::new(SleepRecord::new());
+            let _ = done.wait_timeout(&s2, 1_000_000);
+        });
+        sim.run();
+        let got = got.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].len(), 120);
+        assert_eq!(&got[0][..14], &[0x11; 14]);
+        assert_eq!(&got[0][14..114], &[0x22; 100]);
+        assert_eq!(&got[0][114..], &[0x33; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MTU")]
+    fn oversized_sg_frame_is_rejected() {
+        let sim = Sim::new();
+        let (_ma, na, _mb, _nb) = pair(&sim);
+        na.transmit_sg(&[&[0; 1000], &[0; 1000]]);
     }
 
     #[test]

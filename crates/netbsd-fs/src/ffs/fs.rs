@@ -58,7 +58,7 @@ impl FsCore {
     /// Mounts an existing file system.
     pub fn mount(dev: &Arc<dyn BlkIo>) -> Result<Arc<FsCore>> {
         let cache = BufCache::new(Arc::clone(dev), 256);
-        let sb = cache.bread(0, |b| Superblock::decode(b))?.ok_or(Error::Inval)?;
+        let sb = cache.bread(0, Superblock::decode)?.ok_or(Error::Inval)?;
         Ok(Arc::new(FsCore {
             cache,
             sb: Mutex::new(sb),

@@ -28,6 +28,12 @@ pub enum EventKind {
     Wakeup,
     /// An interrupt was delivered at this boundary.
     Irq,
+    /// Payload bytes were handed to scatter-gather hardware as a fragment
+    /// list — descriptors were programmed, but no byte was copied.
+    Gather {
+        /// Number of bytes gathered.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -39,6 +45,7 @@ impl fmt::Display for EventKind {
             EventKind::Sleep => write!(f, "sleep"),
             EventKind::Wakeup => write!(f, "wakeup"),
             EventKind::Irq => write!(f, "irq"),
+            EventKind::Gather { bytes } => write!(f, "gather({bytes}B)"),
         }
     }
 }

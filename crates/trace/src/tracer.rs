@@ -25,6 +25,8 @@ struct BoundaryStats {
     crossings: AtomicU64,
     copies: AtomicU64,
     bytes_copied: AtomicU64,
+    gathers: AtomicU64,
+    bytes_gathered: AtomicU64,
     allocs: AtomicU64,
     bytes_allocated: AtomicU64,
     sleeps: AtomicU64,
@@ -46,6 +48,11 @@ pub struct BoundaryMetrics {
     pub copies: u64,
     /// Total payload bytes physically copied at this seam.
     pub bytes_copied: u64,
+    /// Scatter-gather hand-offs observed at this seam (fragment lists
+    /// passed to gathering hardware; no bytes copied).
+    pub gathers: u64,
+    /// Total payload bytes moved by scatter-gather hand-offs at this seam.
+    pub bytes_gathered: u64,
     /// Allocations observed at this seam.
     pub allocs: u64,
     /// Total bytes allocated at this seam.
@@ -67,6 +74,8 @@ impl BoundaryMetrics {
         self.crossings == 0
             && self.copies == 0
             && self.bytes_copied == 0
+            && self.gathers == 0
+            && self.bytes_gathered == 0
             && self.allocs == 0
             && self.bytes_allocated == 0
             && self.sleeps == 0
@@ -112,17 +121,24 @@ impl TraceReport {
     pub fn total_crossings(&self) -> u64 {
         self.boundaries.iter().map(|b| b.crossings).sum()
     }
+
+    /// Sum of bytes moved by scatter-gather hand-offs across every
+    /// boundary.
+    pub fn total_bytes_gathered(&self) -> u64 {
+        self.boundaries.iter().map(|b| b.bytes_gathered).sum()
+    }
 }
 
 impl fmt::Display for TraceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>8} {:>5} {:>12}",
+            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>7} {:>8} {:>5} {:>12}",
             "boundary",
             "crossings",
             "copies",
             "bytes-copied",
+            "gathers",
             "allocs",
             "sleeps",
             "wakeups",
@@ -132,11 +148,12 @@ impl fmt::Display for TraceReport {
         for b in self.nonzero() {
             writeln!(
                 f,
-                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>8} {:>5} {:>12}",
+                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>7} {:>8} {:>5} {:>12}",
                 format!("{}::{}", b.component, b.name),
                 b.crossings,
                 b.copies,
                 b.bytes_copied,
+                b.gathers,
                 b.allocs,
                 b.sleeps,
                 b.wakeups,
@@ -190,6 +207,10 @@ impl TracerCore {
             }
             EventKind::Irq => {
                 s.irqs.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Gather { bytes } => {
+                s.gathers.fetch_add(1, Ordering::Relaxed);
+                s.bytes_gathered.fetch_add(bytes, Ordering::Relaxed);
             }
         }
     }
@@ -300,6 +321,8 @@ impl Tracer {
                     crossings: s.crossings.load(Ordering::Relaxed),
                     copies: s.copies.load(Ordering::Relaxed),
                     bytes_copied: s.bytes_copied.load(Ordering::Relaxed),
+                    gathers: s.gathers.load(Ordering::Relaxed),
+                    bytes_gathered: s.bytes_gathered.load(Ordering::Relaxed),
                     allocs: s.allocs.load(Ordering::Relaxed),
                     bytes_allocated: s.bytes_allocated.load(Ordering::Relaxed),
                     sleeps: s.sleeps.load(Ordering::Relaxed),
@@ -351,6 +374,8 @@ impl Tracer {
                 s.crossings.store(0, Ordering::Relaxed);
                 s.copies.store(0, Ordering::Relaxed);
                 s.bytes_copied.store(0, Ordering::Relaxed);
+                s.gathers.store(0, Ordering::Relaxed);
+                s.bytes_gathered.store(0, Ordering::Relaxed);
                 s.allocs.store(0, Ordering::Relaxed);
                 s.bytes_allocated.store(0, Ordering::Relaxed);
                 s.sleeps.store(0, Ordering::Relaxed);

@@ -80,8 +80,7 @@ fn server_main(k: &Kernel) {
 
     let (conn, peer) = p.accept(lfd).expect("accept");
     k.printf("[server] client connected from %s\n", fargs![peer.to_string()]);
-    loop {
-        let Some(line) = read_line(k, conn) else { break };
+    while let Some(line) = read_line(k, conn) {
         let mut parts = line.splitn(3, ' ');
         let verb = parts.next().unwrap_or("");
         let path = parts.next().unwrap_or("");

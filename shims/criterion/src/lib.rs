@@ -33,7 +33,7 @@ impl Criterion {
 
     /// Runs a single named benchmark outside any group.
     pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_bench(&format!("{id}"), self.sample_size, f);
+        run_bench(id, self.sample_size, f);
         self
     }
 }

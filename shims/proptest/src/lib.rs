@@ -188,10 +188,13 @@ tuple_strategy! {
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
 }
 
+/// One boxed alternative of a [`Union`].
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
 /// A uniform choice among boxed alternatives (behind [`prop_oneof!`]).
 pub struct Union<V> {
     /// The sampled alternatives.
-    pub arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    pub arms: Vec<UnionArm<V>>,
 }
 
 impl<V> Strategy for Union<V> {

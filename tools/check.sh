@@ -17,11 +17,16 @@ done
 echo "==> cargo test -q (workspace, default features: trace on)"
 cargo test -q
 
+echo "==> cargo clippy --workspace --all-targets (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
 if [ "$fast" -eq 0 ]; then
     echo "==> cargo build --release (workspace)"
     cargo build --release
     echo "==> cargo build --release -p oskit-bench --no-default-features (trace off)"
     cargo build --release -p oskit-bench --no-default-features
+    echo "==> cargo test -q -p oskit --no-default-features (trace off)"
+    cargo test -q -p oskit --no-default-features
 fi
 
 echo "==> cargo doc --no-deps (warnings denied)"
