@@ -16,7 +16,7 @@ use oskit_com::Query;
 use oskit_freebsd_net::{attach_native_if, ifconfig, open_ether_if, oskit_freebsd_net_init};
 use oskit_linux_dev::linux::inet::LinuxInet;
 use oskit_linux_dev::{LinuxEtherDev, NetDevice};
-use oskit_machine::{Machine, Nic, Sim, TraceReport, WorkSnapshot};
+use oskit_machine::{FaultPlan, FaultSnapshot, Machine, Nic, Sim, TraceReport, WorkSnapshot};
 use oskit_osenv::OsEnv;
 use parking_lot::Mutex;
 use std::net::Ipv4Addr;
@@ -76,6 +76,11 @@ pub struct TtcpResult {
     pub sender_boundaries: TraceReport,
     /// Per-boundary refinement of `receiver`.
     pub receiver_boundaries: TraceReport,
+    /// Sender-machine fault ledger (all-zero unless a plan was installed
+    /// via [`ttcp_run_faulted`]).
+    pub sender_faults: FaultSnapshot,
+    /// Receiver-machine fault ledger.
+    pub receiver_faults: FaultSnapshot,
 }
 
 /// The result of one rtcp run.
@@ -252,7 +257,25 @@ pub fn ttcp_run_mixed(
     blocks: usize,
     block_size: usize,
 ) -> TtcpResult {
+    ttcp_run_faulted(sender, receiver, blocks, block_size, None)
+}
+
+/// Runs ttcp with a scripted fault plan installed on *both* machines —
+/// the robustness ablation.  The receiver still asserts a byte-exact
+/// transfer, so a passing run proves every injected fault was absorbed
+/// by the stack's own recovery machinery.  `None` is the plain run.
+pub fn ttcp_run_faulted(
+    sender: NetConfig,
+    receiver: NetConfig,
+    blocks: usize,
+    block_size: usize,
+    plan: Option<FaultPlan>,
+) -> TtcpResult {
     let tb = build(sender, receiver);
+    if let Some(plan) = plan {
+        tb.machine_a.faults().install(plan);
+        tb.machine_b.faults().install(plan);
+    }
     let total = blocks * block_size;
     let finish = Arc::new(Mutex::new(0u64));
     let f2 = Arc::clone(&finish);
@@ -299,6 +322,8 @@ pub fn ttcp_run_mixed(
         receiver: tb.machine_b.meter.snapshot(),
         sender_boundaries: tb.machine_a.tracer().metrics(),
         receiver_boundaries: tb.machine_b.tracer().metrics(),
+        sender_faults: tb.machine_a.faults().stats(),
+        receiver_faults: tb.machine_b.faults().stats(),
     }
 }
 

@@ -17,7 +17,9 @@
 pub mod experiments;
 pub mod kernel;
 
-pub use experiments::{rtcp_run, ttcp_run, ttcp_run_mixed, NetConfig, RtcpResult, TtcpResult};
+pub use experiments::{
+    rtcp_run, ttcp_run, ttcp_run_faulted, ttcp_run_mixed, NetConfig, RtcpResult, TtcpResult,
+};
 pub use kernel::{Kernel, KernelBuilder};
 
 /// The observability substrate (crates/trace): per-boundary metrics,

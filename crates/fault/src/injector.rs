@@ -1,0 +1,489 @@
+//! The per-machine injector handle the device models consult.
+
+use crate::plan::FaultPlan;
+use crate::stats::FaultSnapshot;
+
+#[cfg(feature = "fault")]
+use crate::rng::SplitMix64;
+#[cfg(feature = "fault")]
+use crate::stats::FaultStats;
+#[cfg(feature = "fault")]
+use parking_lot::Mutex;
+#[cfg(feature = "fault")]
+use std::sync::atomic::Ordering;
+#[cfg(feature = "fault")]
+use std::sync::Arc;
+
+/// The transmit-side verdict for one offered frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NicTxFault {
+    /// No fault: transmit normally.
+    None,
+    /// The frame is destroyed on the wire (random drop, burst, or link
+    /// down): it occupies the wire but is never delivered.
+    Dropped,
+    /// The transmitter is wedged: the frame vanishes without reaching the
+    /// wire at all, and the hardware transmit counter does not advance —
+    /// the signature a driver watchdog detects.
+    Wedged,
+}
+
+/// The verdict for one disk request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskFault {
+    /// Complete the request with a transient error (`ok == false`).
+    pub error: bool,
+    /// Extra service time to add (latency spike), ns.
+    pub extra_ns: u64,
+}
+
+/// Seeded per-device-class decision streams plus window state.
+#[cfg(feature = "fault")]
+struct PlanState {
+    plan: FaultPlan,
+    nic_rng: SplitMix64,
+    disk_rng: SplitMix64,
+    alloc_rng: SplitMix64,
+    irq_rng: SplitMix64,
+    /// Remaining frames of an in-progress drop burst.
+    nic_burst_left: u32,
+    /// A watchdog reset cancels the current wedge window: the transmitter
+    /// works again until this time has passed.
+    wedge_cleared_until: u64,
+}
+
+#[cfg(feature = "fault")]
+impl PlanState {
+    fn new(plan: FaultPlan) -> PlanState {
+        PlanState {
+            plan,
+            nic_rng: SplitMix64::stream(plan.seed, 1),
+            disk_rng: SplitMix64::stream(plan.seed, 2),
+            alloc_rng: SplitMix64::stream(plan.seed, 3),
+            irq_rng: SplitMix64::stream(plan.seed, 4),
+            nic_burst_left: 0,
+            wedge_cleared_until: 0,
+        }
+    }
+}
+
+#[cfg(feature = "fault")]
+#[derive(Default)]
+struct InjectorCore {
+    plan: Mutex<Option<PlanState>>,
+    stats: FaultStats,
+}
+
+/// True while `now` lies in the leading `duration` ns of a `period`-ns
+/// cycle.
+#[cfg(feature = "fault")]
+fn in_window(now: u64, period: u64, duration: u64) -> bool {
+    period > 0 && duration > 0 && now % period < duration
+}
+
+/// End of the window containing `now` (callers check `in_window` first).
+#[cfg(feature = "fault")]
+fn window_end(now: u64, period: u64, duration: u64) -> u64 {
+    now - now % period + duration
+}
+
+/// A cloneable handle to one machine's fault domain.
+///
+/// With the `fault` feature enabled the handle shares seeded decision
+/// streams and a block of injection/recovery counters; with the feature
+/// disabled it is a zero-sized type and every method is an empty inline
+/// function the optimizer erases.  Without an installed [`FaultPlan`]
+/// every decision is "no fault", so merely carrying the handle changes
+/// nothing.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    #[cfg(feature = "fault")]
+    core: Arc<InjectorCore>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no plan installed.
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Whether fault injection is compiled in.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "fault")
+    }
+
+    /// Installs (or replaces) the fault plan, resetting its decision
+    /// streams.  A no-op when the feature is off.
+    #[allow(unused_variables)]
+    pub fn install(&self, plan: FaultPlan) {
+        #[cfg(feature = "fault")]
+        {
+            *self.core.plan.lock() = Some(PlanState::new(plan));
+        }
+    }
+
+    /// Removes the plan: subsequent decisions are all "no fault".
+    pub fn uninstall(&self) {
+        #[cfg(feature = "fault")]
+        {
+            *self.core.plan.lock() = None;
+        }
+    }
+
+    /// Whether a plan is currently installed.
+    pub fn installed(&self) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            self.core.plan.lock().is_some()
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            false
+        }
+    }
+
+    /// Snapshots the injection/recovery counters.
+    pub fn stats(&self) -> FaultSnapshot {
+        #[cfg(feature = "fault")]
+        {
+            self.core.stats.snapshot()
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            FaultSnapshot::default()
+        }
+    }
+
+    /// Resets every counter (the plan and its streams are untouched).
+    pub fn clear(&self) {
+        #[cfg(feature = "fault")]
+        self.core.stats.clear();
+    }
+
+    // --- Device consultation points ---
+
+    /// NIC transmit: the verdict for one frame offered at time `now`.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn nic_tx_fault(&self, now: u64) -> NicTxFault {
+        #[cfg(feature = "fault")]
+        {
+            let mut guard = self.core.plan.lock();
+            let Some(st) = guard.as_mut() else {
+                return NicTxFault::None;
+            };
+            let nf = st.plan.nic;
+            if in_window(now, nf.wedge_period_ns, nf.wedge_duration_ns)
+                && now >= st.wedge_cleared_until
+            {
+                self.core.stats.tx_wedged.fetch_add(1, Ordering::Relaxed);
+                return NicTxFault::Wedged;
+            }
+            if in_window(now, nf.flap_period_ns, nf.flap_down_ns) {
+                self.core
+                    .stats
+                    .link_down_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                return NicTxFault::Dropped;
+            }
+            if st.nic_burst_left > 0 {
+                st.nic_burst_left -= 1;
+                self.core.stats.tx_dropped.fetch_add(1, Ordering::Relaxed);
+                return NicTxFault::Dropped;
+            }
+            if st.nic_rng.chance(nf.drop_per_mille) {
+                st.nic_burst_left = nf.burst_len.saturating_sub(1);
+                self.core.stats.tx_dropped.fetch_add(1, Ordering::Relaxed);
+                return NicTxFault::Dropped;
+            }
+        }
+        NicTxFault::None
+    }
+
+    /// NIC reset (the watchdog's recovery action): cancels the wedge
+    /// window in progress at `now`, if any — re-initializing the
+    /// transmitter brings the hardware back.
+    #[allow(unused_variables)]
+    pub fn nic_reset(&self, now: u64) {
+        #[cfg(feature = "fault")]
+        {
+            let mut guard = self.core.plan.lock();
+            let Some(st) = guard.as_mut() else { return };
+            let nf = st.plan.nic;
+            if in_window(now, nf.wedge_period_ns, nf.wedge_duration_ns) {
+                st.wedge_cleared_until =
+                    window_end(now, nf.wedge_period_ns, nf.wedge_duration_ns);
+            }
+        }
+    }
+
+    /// Disk submit: the verdict for one request.
+    #[inline]
+    pub fn disk_fault(&self) -> DiskFault {
+        #[cfg(feature = "fault")]
+        {
+            let mut guard = self.core.plan.lock();
+            let Some(st) = guard.as_mut() else {
+                return DiskFault::default();
+            };
+            let df = st.plan.disk;
+            let error = st.disk_rng.chance(df.error_per_mille);
+            let spike = st.disk_rng.chance(df.spike_per_mille);
+            if error {
+                self.core.stats.disk_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if spike {
+                self.core.stats.disk_spikes.fetch_add(1, Ordering::Relaxed);
+            }
+            DiskFault {
+                error,
+                extra_ns: if spike { df.spike_ns } else { 0 },
+            }
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            DiskFault::default()
+        }
+    }
+
+    /// Allocation: whether this request is forced to fail.  `atomic`
+    /// requests (GFP_ATOMIC: interrupt level, cannot sleep) additionally
+    /// face the plan's `atomic_fail_per_mille`.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn alloc_fail(&self, atomic: bool) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            let mut guard = self.core.plan.lock();
+            let Some(st) = guard.as_mut() else {
+                return false;
+            };
+            let af = st.plan.alloc;
+            let fail = st.alloc_rng.chance(af.fail_per_mille)
+                || (atomic && st.alloc_rng.chance(af.atomic_fail_per_mille));
+            if fail {
+                self.core
+                    .stats
+                    .alloc_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            fail
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            false
+        }
+    }
+
+    /// Device interrupt raise: whether this edge is lost.  The device
+    /// queue state survives; only the notification vanishes.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn irq_lost(&self, line: u8) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            let mut guard = self.core.plan.lock();
+            let Some(st) = guard.as_mut() else {
+                return false;
+            };
+            let lost = st.irq_rng.chance(st.plan.irq.lose_per_mille);
+            if lost {
+                self.core.stats.irqs_lost.fetch_add(1, Ordering::Relaxed);
+            }
+            lost
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            false
+        }
+    }
+
+    // --- Recovery notes (bumped by the glue when it survives a fault) ---
+
+    /// The block layer retried a transiently failed request.
+    #[inline]
+    pub fn note_blk_retry(&self) {
+        #[cfg(feature = "fault")]
+        self.core.stats.blk_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A block request exhausted its retries and failed hard.
+    #[inline]
+    pub fn note_blk_hard_failure(&self) {
+        #[cfg(feature = "fault")]
+        self.core
+            .stats
+            .blk_hard_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The block layer polled for completions after a suspected lost
+    /// interrupt.
+    #[inline]
+    pub fn note_blk_lost_irq_poll(&self) {
+        #[cfg(feature = "fault")]
+        self.core
+            .stats
+            .blk_lost_irq_polls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The ether transmit watchdog reset a wedged device.
+    #[inline]
+    pub fn note_tx_watchdog_reset(&self) {
+        #[cfg(feature = "fault")]
+        self.core
+            .stats
+            .tx_watchdog_resets
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A packet was dropped because its buffer allocation failed.
+    #[inline]
+    pub fn note_pkt_alloc_drop(&self) {
+        #[cfg(feature = "fault")]
+        self.core
+            .stats
+            .pkt_alloc_drops
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("enabled", &FaultInjector::enabled())
+            .field("installed", &self.installed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AllocFaults, DiskFaults, FaultPlan, IrqFaults, NicFaults};
+
+    #[test]
+    fn no_plan_means_no_faults() {
+        let inj = FaultInjector::new();
+        assert_eq!(inj.nic_tx_fault(0), NicTxFault::None);
+        assert_eq!(inj.disk_fault(), DiskFault::default());
+        assert!(!inj.alloc_fail(true));
+        assert!(!inj.irq_lost(14));
+        assert!(inj.stats().is_zero());
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::new(0xF00D)
+            .nic(NicFaults {
+                drop_per_mille: 50,
+                burst_len: 3,
+                ..NicFaults::default()
+            })
+            .disk(DiskFaults {
+                error_per_mille: 100,
+                spike_per_mille: 100,
+                spike_ns: 5_000_000,
+            })
+            .alloc(AllocFaults {
+                fail_per_mille: 10,
+                atomic_fail_per_mille: 30,
+            })
+            .irq(IrqFaults { lose_per_mille: 20 });
+        let runs: Vec<FaultSnapshot> = (0..2)
+            .map(|_| {
+                let inj = FaultInjector::new();
+                inj.install(plan);
+                for i in 0..10_000u64 {
+                    let _ = inj.nic_tx_fault(i * 1000);
+                    let _ = inj.disk_fault();
+                    let _ = inj.alloc_fail(i % 2 == 0);
+                    let _ = inj.irq_lost(10);
+                }
+                inj.stats()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert!(runs[0].tx_dropped > 0);
+        assert!(runs[0].disk_errors > 0);
+        assert!(runs[0].alloc_failures > 0);
+        assert!(runs[0].irqs_lost > 0);
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn bursts_eat_consecutive_frames() {
+        let inj = FaultInjector::new();
+        inj.install(FaultPlan::new(1).nic(NicFaults {
+            drop_per_mille: 1, // rare trigger...
+            burst_len: 4,      // ...but each trigger eats 4 frames.
+            ..NicFaults::default()
+        }));
+        let verdicts: Vec<NicTxFault> = (0..100_000).map(|_| inj.nic_tx_fault(0)).collect();
+        let drops = inj.stats().tx_dropped;
+        assert!(drops > 0);
+        assert_eq!(drops % 4, 0, "drops come in whole bursts of 4");
+        // Every drop run in the sequence is exactly 4 long.
+        let mut run = 0u64;
+        for v in verdicts {
+            match v {
+                NicTxFault::Dropped => run += 1,
+                _ => {
+                    assert!(run == 0 || run == 4, "burst of {run}");
+                    run = 0;
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn wedge_window_and_reset() {
+        let inj = FaultInjector::new();
+        inj.install(FaultPlan::new(1).nic(NicFaults {
+            wedge_period_ns: 1000,
+            wedge_duration_ns: 300,
+            ..NicFaults::default()
+        }));
+        assert_eq!(inj.nic_tx_fault(100), NicTxFault::Wedged);
+        assert_eq!(inj.nic_tx_fault(500), NicTxFault::None);
+        // A reset clears the remainder of the window...
+        assert_eq!(inj.nic_tx_fault(1100), NicTxFault::Wedged);
+        inj.nic_reset(1150);
+        assert_eq!(inj.nic_tx_fault(1200), NicTxFault::None);
+        // ...but the next window wedges again.
+        assert_eq!(inj.nic_tx_fault(2100), NicTxFault::Wedged);
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn atomic_allocations_fail_more() {
+        let inj = FaultInjector::new();
+        inj.install(FaultPlan::new(9).alloc(AllocFaults {
+            fail_per_mille: 0,
+            atomic_fail_per_mille: 200,
+        }));
+        assert!((0..1000).all(|_| !inj.alloc_fail(false)));
+        let atomic_fails = (0..1000).filter(|_| inj.alloc_fail(true)).count();
+        assert!(atomic_fails > 100, "{atomic_fails}");
+    }
+
+    #[test]
+    fn recovery_notes_count_without_a_plan() {
+        let inj = FaultInjector::new();
+        inj.note_blk_retry();
+        inj.note_tx_watchdog_reset();
+        inj.note_pkt_alloc_drop();
+        let s = inj.stats();
+        if FaultInjector::enabled() {
+            assert_eq!(
+                (s.blk_retries, s.tx_watchdog_resets, s.pkt_alloc_drops),
+                (1, 1, 1)
+            );
+            inj.clear();
+        }
+        assert!(inj.stats().is_zero());
+    }
+}

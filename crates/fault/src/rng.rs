@@ -1,0 +1,78 @@
+//! A tiny seeded PRNG for fault schedules.
+//!
+//! The build environment is offline and the kit carries no `rand`
+//! dependency, so fault plans draw from a hand-rolled SplitMix64 — the
+//! classic 64-bit mixer (Steele/Lea/Flood's `java.util.SplittableRandom`
+//! finalizer).  It is deterministic, splittable by reseeding, and more
+//! than random enough to schedule packet drops.
+
+/// SplitMix64: a deterministic 64-bit generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from `seed`.  Identical seeds yield identical
+    /// streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// A generator whose stream is independent of its siblings: mixes a
+    /// stream id into the seed so each device class draws from its own
+    /// sequence.
+    pub fn stream(seed: u64, stream: u64) -> SplitMix64 {
+        SplitMix64::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `per_mille`/1000.
+    pub fn chance(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next_u64() % 1000 < u64::from(per_mille)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = SplitMix64::stream(42, 1);
+        let mut b = SplitMix64::stream(42, 2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chance_tracks_per_mille() {
+        let mut r = SplitMix64::new(7);
+        let hits = (0..100_000).filter(|_| r.chance(100)).count();
+        // 10% ± 1%.
+        assert!((9_000..11_000).contains(&hits), "{hits}");
+        let mut r = SplitMix64::new(7);
+        assert!((0..1000).all(|_| !r.chance(0)));
+        let mut r = SplitMix64::new(7);
+        assert!((0..1000).all(|_| r.chance(1000)));
+    }
+}

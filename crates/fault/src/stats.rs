@@ -1,0 +1,140 @@
+//! Fault and recovery counters.
+//!
+//! Injection counters are bumped by the device models when a scheduled
+//! fault fires; recovery counters are bumped by the glue when it survives
+//! one.  The pairing is the point: a soak run asserts both that faults
+//! actually fired and that every one was absorbed, and the replay gate
+//! diffs two same-seed snapshots for equality.
+
+use std::fmt;
+#[cfg(feature = "fault")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared by one injector (compiled only with the `fault`
+/// feature; snapshotted as [`FaultSnapshot`]).
+#[cfg(feature = "fault")]
+#[derive(Default)]
+pub(crate) struct FaultStats {
+    pub(crate) tx_dropped: AtomicU64,
+    pub(crate) link_down_dropped: AtomicU64,
+    pub(crate) tx_wedged: AtomicU64,
+    pub(crate) disk_errors: AtomicU64,
+    pub(crate) disk_spikes: AtomicU64,
+    pub(crate) alloc_failures: AtomicU64,
+    pub(crate) irqs_lost: AtomicU64,
+    pub(crate) blk_retries: AtomicU64,
+    pub(crate) blk_hard_failures: AtomicU64,
+    pub(crate) blk_lost_irq_polls: AtomicU64,
+    pub(crate) tx_watchdog_resets: AtomicU64,
+    pub(crate) pkt_alloc_drops: AtomicU64,
+}
+
+#[cfg(feature = "fault")]
+impl FaultStats {
+    pub(crate) fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            tx_dropped: self.tx_dropped.load(Ordering::Relaxed),
+            link_down_dropped: self.link_down_dropped.load(Ordering::Relaxed),
+            tx_wedged: self.tx_wedged.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            disk_spikes: self.disk_spikes.load(Ordering::Relaxed),
+            alloc_failures: self.alloc_failures.load(Ordering::Relaxed),
+            irqs_lost: self.irqs_lost.load(Ordering::Relaxed),
+            blk_retries: self.blk_retries.load(Ordering::Relaxed),
+            blk_hard_failures: self.blk_hard_failures.load(Ordering::Relaxed),
+            blk_lost_irq_polls: self.blk_lost_irq_polls.load(Ordering::Relaxed),
+            tx_watchdog_resets: self.tx_watchdog_resets.load(Ordering::Relaxed),
+            pkt_alloc_drops: self.pkt_alloc_drops.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        self.tx_dropped.store(0, Ordering::Relaxed);
+        self.link_down_dropped.store(0, Ordering::Relaxed);
+        self.tx_wedged.store(0, Ordering::Relaxed);
+        self.disk_errors.store(0, Ordering::Relaxed);
+        self.disk_spikes.store(0, Ordering::Relaxed);
+        self.alloc_failures.store(0, Ordering::Relaxed);
+        self.irqs_lost.store(0, Ordering::Relaxed);
+        self.blk_retries.store(0, Ordering::Relaxed);
+        self.blk_hard_failures.store(0, Ordering::Relaxed);
+        self.blk_lost_irq_polls.store(0, Ordering::Relaxed);
+        self.tx_watchdog_resets.store(0, Ordering::Relaxed);
+        self.pkt_alloc_drops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of one injector's counters.
+///
+/// All-zero (and [`FaultSnapshot::is_zero`]) when no plan is installed or
+/// the `fault` feature is compiled out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Frames destroyed on the wire by random drops and bursts.
+    pub tx_dropped: u64,
+    /// Frames lost because the link was flapped down.
+    pub link_down_dropped: u64,
+    /// Frames eaten by a wedged transmitter (never reached the wire).
+    pub tx_wedged: u64,
+    /// Disk requests completed with an injected transient error.
+    pub disk_errors: u64,
+    /// Disk requests that suffered an injected latency spike.
+    pub disk_spikes: u64,
+    /// Allocations forced to fail (includes the GFP_ATOMIC extras).
+    pub alloc_failures: u64,
+    /// Device interrupt raises that were swallowed.
+    pub irqs_lost: u64,
+    /// Block-layer retries of transiently failed requests.
+    pub blk_retries: u64,
+    /// Block requests that exhausted their retries and failed hard.
+    pub blk_hard_failures: u64,
+    /// Block-layer completion polls after a suspected lost interrupt.
+    pub blk_lost_irq_polls: u64,
+    /// Ether transmit-watchdog device resets.
+    pub tx_watchdog_resets: u64,
+    /// Packets dropped because a packet-buffer allocation failed.
+    pub pkt_alloc_drops: u64,
+}
+
+impl FaultSnapshot {
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultSnapshot::default()
+    }
+
+    /// Total injected faults (the left side of the ledger).
+    pub fn total_injected(&self) -> u64 {
+        self.tx_dropped
+            + self.link_down_dropped
+            + self.tx_wedged
+            + self.disk_errors
+            + self.disk_spikes
+            + self.alloc_failures
+            + self.irqs_lost
+    }
+}
+
+impl fmt::Display for FaultSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  injected: {} tx-drop, {} link-down, {} tx-wedge, {} disk-err, {} disk-spike, {} alloc-fail, {} irq-lost",
+            self.tx_dropped,
+            self.link_down_dropped,
+            self.tx_wedged,
+            self.disk_errors,
+            self.disk_spikes,
+            self.alloc_failures,
+            self.irqs_lost
+        )?;
+        writeln!(
+            f,
+            "  recovered: {} blk-retry, {} blk-hardfail, {} blk-poll, {} watchdog-reset, {} pkt-alloc-drop",
+            self.blk_retries,
+            self.blk_hard_failures,
+            self.blk_lost_irq_polls,
+            self.tx_watchdog_resets,
+            self.pkt_alloc_drops
+        )
+    }
+}

@@ -94,13 +94,25 @@ impl Mbuf {
             MbufData::Ext(b) => {
                 let mut out = None;
                 let mut f = Some(f);
-                b.with_map(self.off, self.len, &mut |s| {
+                let mapped = b.with_map(self.off, self.len, &mut |s| {
                     if let Some(f) = f.take() {
                         out = Some(f(s));
                     }
-                })
-                .expect("ext mbuf lost its mapping");
-                out.expect("with_map did not call back")
+                });
+                if let Some(r) = out {
+                    return r;
+                }
+                // The foreign buffer reneged on the mapping it granted at
+                // wrap time (or never called back).  That's the peer
+                // component's bug, but a received packet must never take
+                // the stack down: degrade to a copy, and if even the read
+                // fails, present zeroes — the checksum will reject the
+                // packet, which is exactly how a truncated frame dies.
+                let mut flat = vec![0u8; self.len];
+                if mapped.is_err() {
+                    let _ = b.read(&mut flat, self.off as u64);
+                }
+                f.take().expect("with_data closure consumed")(&flat)
             }
         }
     }

@@ -4,7 +4,7 @@
 //! byte-exact.
 
 use oskit_freebsd_net::{attach_native_if, ifconfig, oskit_freebsd_net_init, TcpSock};
-use oskit_machine::{Machine, Nic, Sim, WireConfig};
+use oskit_machine::{FaultPlan, FaultSnapshot, Machine, Nic, NicFaults, Sim, WireConfig};
 use oskit_osenv::OsEnv;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -13,20 +13,44 @@ const IP_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const IP_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 const MASK: Ipv4Addr = Ipv4Addr::new(255, 255, 255, 0);
 
-fn lossy_transfer(drop_every: u64, total: usize) -> (u64, u64) {
+/// Which direction the wire eats frames in.
+#[derive(Clone, Copy)]
+enum LossDir {
+    /// Data direction (a → b): recovery rides dup ACKs and RTOs.
+    Data,
+    /// ACK direction (b → a): data arrives, but the sender can't see it
+    /// and must retransmit until an ACK survives.
+    Ack,
+}
+
+/// One byte-exact transfer under loss.  `drop_every` configures the
+/// periodic wire-level drop in `dir`; `plan` additionally installs a
+/// seeded fault plan on the *sender's* machine.  Returns (segments sent,
+/// frames dropped a-side, frames dropped b-side, sender fault ledger).
+fn lossy_transfer_cfg(
+    drop_every: Option<u64>,
+    dir: LossDir,
+    plan: Option<FaultPlan>,
+    total: usize,
+) -> (u64, u64, u64, FaultSnapshot) {
     let sim = Sim::new();
     // Loss recovery leans on 1-second RTOs; give it room.
     sim.set_time_limit(5_000_000_000_000);
     let ma = Machine::new(&sim, "a", 1 << 21);
     let mb = Machine::new(&sim, "b", 1 << 21);
     let cfg = WireConfig {
-        drop_every: Some(drop_every),
+        drop_every,
         ..WireConfig::default()
     };
-    // Loss on the data direction only (a → b); ACKs flow clean so the
-    // recovery signal (dup ACKs) is observable.
-    let na = Nic::with_config(&ma, [2, 0, 0, 0, 0, 1], cfg);
-    let nb = Nic::new(&mb, [2, 0, 0, 0, 0, 2]);
+    let (cfg_a, cfg_b) = match dir {
+        LossDir::Data => (cfg, WireConfig::default()),
+        LossDir::Ack => (WireConfig::default(), cfg),
+    };
+    let na = Nic::with_config(&ma, [2, 0, 0, 0, 0, 1], cfg_a);
+    let nb = Nic::with_config(&mb, [2, 0, 0, 0, 0, 2], cfg_b);
+    if let Some(plan) = plan {
+        ma.faults().install(plan);
+    }
     Nic::connect(&na, &nb);
     let ea = OsEnv::new(&ma);
     let eb = OsEnv::new(&mb);
@@ -87,7 +111,13 @@ fn lossy_transfer(drop_every: u64, total: usize) -> (u64, u64) {
     });
     sim.run();
     let (tx, _) = *sent_stats.lock().unwrap();
-    (tx, na.wire_dropped())
+    (tx, na.wire_dropped(), nb.wire_dropped(), ma.faults().stats())
+}
+
+/// The original shape: periodic loss on the data direction.
+fn lossy_transfer(drop_every: u64, total: usize) -> (u64, u64) {
+    let (tx, dropped_a, _, _) = lossy_transfer_cfg(Some(drop_every), LossDir::Data, None, total);
+    (tx, dropped_a)
 }
 
 #[test]
@@ -111,6 +141,47 @@ fn survives_heavy_ten_percent_loss() {
     let total = 60_000;
     let (_segs, dropped) = lossy_transfer(10, total);
     assert!(dropped >= 4);
+}
+
+#[test]
+fn survives_ack_direction_loss() {
+    // Loss on the *return* path: every data segment arrives, but its ACK
+    // may die.  The sender, blind to the delivery, retransmits; the
+    // receiver discards the duplicates.  The byte-exactness assertion
+    // lives in the server loop.
+    let total = 120_000;
+    let (segs_sent, dropped_a, dropped_b, _) =
+        lossy_transfer_cfg(Some(25), LossDir::Ack, None, total);
+    assert_eq!(dropped_a, 0, "data direction must be clean");
+    assert!(dropped_b > 0, "ACK-direction loss did not fire");
+    // Lost ACKs force duplicate data transmissions.
+    let ideal = (total / 1460 + 3) as u64;
+    assert!(
+        segs_sent > ideal,
+        "no retransmissions despite ACK loss: sent {segs_sent}, ideal {ideal}"
+    );
+}
+
+#[test]
+fn survives_seeded_burst_drops() {
+    // The fault substrate instead of the periodic wire hook: seeded
+    // random drops arriving in bursts of three — the pattern (back-to-
+    // back losses inside one window) that defeats plain fast retransmit
+    // and forces the RTO path.
+    let plan = FaultPlan::new(0xB0B5).nic(NicFaults {
+        drop_per_mille: 8,
+        burst_len: 3,
+        ..NicFaults::default()
+    });
+    let total = 120_000;
+    let (_, _, _, ledger) = lossy_transfer_cfg(None, LossDir::Data, Some(plan), total);
+    assert!(
+        ledger.tx_dropped >= 3,
+        "burst drops did not fire: {ledger:?}"
+    );
+    // Replay determinism across the whole TCP recovery dance.
+    let (_, _, _, ledger2) = lossy_transfer_cfg(None, LossDir::Data, Some(plan), total);
+    assert_eq!(ledger, ledger2, "same seed must reproduce the ledger");
 }
 
 #[test]

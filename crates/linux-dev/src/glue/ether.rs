@@ -181,6 +181,12 @@ impl NetIo for LinuxTxNetIo {
         // (§4.7.5).
         let _entry = super::curproc::GlueEntry::new(&self.current, "oskit_tx");
         let len = pkt.get_size()? as usize;
+        // An oversized packet from a foreign component is the caller's
+        // bug, not grounds for taking the kernel down: reject it here
+        // rather than tripping the driver's MTU assertion.
+        if len > self.dev.mtu + crate::linux::netdevice::ETH_HLEN {
+            return Err(Error::Inval);
+        }
 
         // Native skbuff? Reuse it outright.
         if let Some(skbio) = pkt.query::<dyn SkbIo>() {
@@ -227,7 +233,14 @@ impl NetIo for LinuxTxNetIo {
             }
             Err(Error::NotImpl) => {
                 // Discontiguous (e.g. an mbuf chain): allocate a normal
-                // skbuff and *copy* — the send-path cost of Table 1.
+                // skbuff and *copy* — the send-path cost of Table 1.  The
+                // allocation can fail under memory pressure; the donor
+                // answer is to drop the packet (TCP retransmits it), never
+                // to panic.
+                if self.env.machine.faults().alloc_fail(false) {
+                    self.env.machine.faults().note_pkt_alloc_drop();
+                    return Ok(());
+                }
                 let mut skb = SkBuff::alloc(len);
                 let dst = skb.put(len);
                 let n = pkt.read(dst, 0)?;
@@ -481,6 +494,22 @@ mod tests {
         assert_eq!(m.gathers, 0);
         assert_eq!(m.copies, 1);
         assert_eq!(m.bytes_copied, 314);
+    }
+
+    #[test]
+    fn oversized_foreign_packet_is_rejected_not_panicked() {
+        // A foreign component handing down a frame beyond MTU+header is a
+        // caller bug, answered with Err(Inval) — not a kernel panic.
+        let (sim, _ma, tx_a, _mb, got, _keep) = setup();
+        sim.spawn("tx", move || {
+            let pkt = VecBufIo::from_vec(vec![0u8; 3000]);
+            assert!(matches!(
+                tx_a.push(pkt as Arc<dyn BufIo>),
+                Err(Error::Inval)
+            ));
+        });
+        sim.run();
+        assert_eq!(got.lock().len(), 0);
     }
 
     #[test]

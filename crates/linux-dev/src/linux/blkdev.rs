@@ -22,6 +22,19 @@ use std::sync::{Arc, Weak};
 /// reads, `None` for writes) or a bare error flag.
 pub type BlkResult = Result<Option<Vec<u8>>, ()>;
 
+/// How many times a failed request is reissued before the error goes up
+/// the chain — Linux 2.0's `MAX_ERRORS` bound on IDE retries.
+pub const BLK_MAX_RETRIES: u32 = 5;
+
+/// Backoff before the first retry; doubles per attempt (so the total
+/// in-drive dwell of a doomed request stays bounded at ~31 ms).
+const BLK_RETRY_BASE_NS: u64 = 1_000_000;
+
+/// How long a process-level waiter sleeps before suspecting a lost
+/// completion interrupt and polling the controller directly.  Far beyond
+/// any legitimate service time (even with injected latency spikes).
+const BLK_IRQ_TIMEOUT_NS: u64 = 50_000_000;
+
 /// Request direction (`READ`/`WRITE`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Cmd {
@@ -45,6 +58,9 @@ pub struct Request {
     pub wq: Arc<WaitQueue>,
     /// Completion result: read data or error flag.
     pub result: Arc<Mutex<Option<BlkResult>>>,
+    /// Times this request has already been reissued after a transient
+    /// error (bounded by [`BLK_MAX_RETRIES`]).
+    pub retries: u32,
 }
 
 struct QueueState {
@@ -113,8 +129,12 @@ impl IdeDrive {
     }
 
     /// Convenience: submit and sleep until completion, donor style.
+    ///
+    /// Sleeps with a generous timeout: if it expires the completion
+    /// interrupt was probably lost, so the driver polls the controller
+    /// directly — the classic IDE fallback — rather than hanging forever.
     pub fn rw_blocking(
-        &self,
+        self: &Arc<Self>,
         cmd: Cmd,
         sector: u64,
         nr_sectors: usize,
@@ -129,12 +149,17 @@ impl IdeDrive {
             data,
             wq: Arc::clone(&wq),
             result: Arc::clone(&result),
+            retries: 0,
         });
         loop {
             if let Some(r) = result.lock().take() {
                 return r;
             }
-            wq.sleep_on(&self.env);
+            if !wq.sleep_on_timeout(&self.env, BLK_IRQ_TIMEOUT_NS) && self.intr() > 0 {
+                // Timed out and a completion really was stranded on the
+                // controller: its interrupt never arrived.
+                self.env.machine.faults().note_blk_lost_irq_poll();
+            }
         }
     }
 
@@ -156,27 +181,58 @@ impl IdeDrive {
         st.in_flight = Some((id, req));
     }
 
-    /// The completion interrupt (`ide_intr`).
-    fn intr(&self) {
+    /// The completion interrupt (`ide_intr`).  Returns how many requests
+    /// it retired (so a timed-out waiter polling the controller can tell
+    /// whether a completion really was stranded).
+    ///
+    /// A request that completed with an error is reissued after an
+    /// exponential backoff, up to [`BLK_MAX_RETRIES`] times; only then
+    /// does the error go up the chain — Linux 2.0's `MAX_ERRORS` policy.
+    fn intr(self: &Arc<Self>) -> usize {
+        let mut retired = 0;
         loop {
             let Some(done) = self.hw.take_completion() else {
-                return;
+                return retired;
             };
             let mut st = self.state.lock();
-            let Some((id, req)) = st.in_flight.take() else {
+            let Some((id, mut req)) = st.in_flight.take() else {
                 // Spurious completion; drop it.
                 continue;
             };
             assert_eq!(id, done.id, "completion out of order");
+            if !done.ok && req.retries < BLK_MAX_RETRIES {
+                // Transient error: back off and reissue, letting the rest
+                // of the queue run meanwhile.
+                req.retries += 1;
+                let delay = BLK_RETRY_BASE_NS << (req.retries - 1);
+                self.env.machine.faults().note_blk_retry();
+                let drive = Arc::clone(self);
+                self.env.machine.at_cpu(delay, move |_| drive.requeue(req));
+                self.dispatch(&mut st);
+                continue;
+            }
             let result = if done.ok {
                 Ok(done.data)
             } else {
+                // Retries exhausted: the error goes up the blkio chain.
+                self.env.machine.faults().note_blk_hard_failure();
                 Err(())
             };
             *req.result.lock() = Some(result);
+            retired += 1;
             self.dispatch(&mut st);
             drop(st);
             req.wq.wake_up();
+        }
+    }
+
+    /// Puts a backed-off request back at the head of the queue and kicks
+    /// the drive if it went idle while the request was cooling down.
+    fn requeue(self: &Arc<Self>, req: Request) {
+        let mut st = self.state.lock();
+        st.queue.push_front(req);
+        if st.in_flight.is_none() {
+            self.dispatch(&mut st);
         }
     }
 }
@@ -212,6 +268,8 @@ mod tests {
 
     #[test]
     fn out_of_range_returns_error() {
+        // An out-of-range request is a *persistent* error: it burns its
+        // retries (in virtual time) and then fails hard up the chain.
         let (sim, d) = drive();
         let d2 = Arc::clone(&d);
         sim.spawn("io", move || {
@@ -241,6 +299,41 @@ mod tests {
     }
 
     #[test]
+    fn transient_errors_are_retried_until_success() {
+        use oskit_machine::{DiskFaults, FaultInjector, FaultPlan, IrqFaults};
+        if !FaultInjector::enabled() {
+            return;
+        }
+        let (sim, d) = drive();
+        // Aggressive plan: 20% transient errors, latency spikes, and one
+        // in twenty completion interrupts lost.
+        d.env.machine.faults().install(
+            FaultPlan::new(7)
+                .disk(DiskFaults {
+                    error_per_mille: 200,
+                    spike_per_mille: 100,
+                    spike_ns: 2_000_000,
+                })
+                .irq(IrqFaults { lose_per_mille: 50 }),
+        );
+        let d2 = Arc::clone(&d);
+        sim.spawn("io", move || {
+            for i in 0..32u64 {
+                let payload = vec![i as u8; SECTOR_SIZE];
+                d2.rw_blocking(Cmd::Write, i, 1, Some(payload.clone()))
+                    .unwrap();
+                let got = d2.rw_blocking(Cmd::Read, i, 1, None).unwrap().unwrap();
+                assert_eq!(got, payload, "sector {i} corrupted under faults");
+            }
+        });
+        sim.run();
+        let st = d.env.machine.faults().stats();
+        assert!(st.disk_errors > 0, "no errors injected: {st:?}");
+        assert!(st.blk_retries >= st.disk_errors, "unretried errors: {st:?}");
+        assert_eq!(st.blk_hard_failures, 0, "retries exhausted: {st:?}");
+    }
+
+    #[test]
     fn elevator_orders_queued_requests() {
         // Submit scattered requests while the drive is busy; they must be
         // dispatched in ascending sector order (one-way scan).
@@ -257,6 +350,7 @@ mod tests {
                 data: None,
                 wq: Arc::clone(&wq0),
                 result: Arc::clone(&r0),
+                retries: 0,
             });
             // Now queue out-of-order requests.
             let mut handles = Vec::new();
@@ -270,6 +364,7 @@ mod tests {
                     data: None,
                     wq: Arc::clone(&wq),
                     result: Arc::clone(&res),
+                    retries: 0,
                 });
                 handles.push((sector, wq, res));
             }

@@ -14,8 +14,8 @@ use std::sync::Arc;
 pub struct Gfp {
     /// Must be ISA-DMA reachable (`GFP_DMA`).
     pub dma: bool,
-    /// May not sleep (`GFP_ATOMIC`) — recorded for fidelity; the osenv
-    /// allocator never sleeps anyway.
+    /// May not sleep (`GFP_ATOMIC`) — interrupt-level allocations cannot
+    /// reclaim, so under injected memory pressure they fail first.
     pub atomic: bool,
 }
 
@@ -59,6 +59,7 @@ impl Kmalloc {
             16,
             MemFlags {
                 dma: flags.dma,
+                atomic: flags.atomic,
                 ..MemFlags::default()
             },
         )?;

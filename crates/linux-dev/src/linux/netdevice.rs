@@ -38,6 +38,8 @@ pub struct NetStats {
     pub tx_packets: AtomicU64,
     /// Receive errors/drops.
     pub rx_dropped: AtomicU64,
+    /// Transmit errors: frames the watchdog found the hardware had eaten.
+    pub tx_errors: AtomicU64,
 }
 
 type RxHandler = Box<dyn Fn(SkBuff) + Send + Sync>;
@@ -58,6 +60,9 @@ pub struct NetDevice {
     features: AtomicU32,
     rx_handler: Mutex<Option<RxHandler>>,
     opened: Mutex<bool>,
+    /// Offered-vs-wire gap the watchdog has already accounted for
+    /// (resets charged to `tx_errors`), so old losses never re-trigger.
+    watchdog_gap: AtomicU64,
 }
 
 impl NetDevice {
@@ -73,6 +78,7 @@ impl NetDevice {
             features: AtomicU32::new(0),
             rx_handler: Mutex::new(None),
             opened: Mutex::new(false),
+            watchdog_gap: AtomicU64::new(0),
         })
     }
 
@@ -125,6 +131,14 @@ impl NetDevice {
 
     /// Processes one received frame (split out for tests).
     pub fn deliver_frame(&self, frame: Vec<u8>) {
+        // `dev_alloc_skb(GFP_ATOMIC)` — at interrupt level the allocation
+        // may fail, and the donor answer is to drop the frame and count
+        // it; the sender's retransmit machinery does the rest.
+        if self.env.machine.faults().alloc_fail(true) {
+            self.env.machine.faults().note_pkt_alloc_drop();
+            self.stats.rx_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut skb = SkBuff::from_vec(frame);
         if skb.len() < ETH_HLEN {
             self.stats.rx_dropped.fetch_add(1, Ordering::Relaxed);
@@ -176,8 +190,35 @@ impl NetDevice {
                 self.hw.transmit_sg(&parts);
             });
             self.stats.tx_packets.fetch_add(1, Ordering::Relaxed);
+            self.tx_watchdog();
         } else {
             skb.with_data(|d| self.xmit_frame(d));
+        }
+    }
+
+    /// How many frames the transmitter may eat before the watchdog
+    /// declares it wedged — a few, since a healthy LANCE never eats any.
+    const WATCHDOG_THRESHOLD: u64 = 3;
+
+    /// `dev_watchdog` / `tx_timeout`: compares frames offered to the
+    /// hardware against frames that actually made the wire.  A growing
+    /// gap means the transmitter has wedged; the cure — then as now — is
+    /// to reset the device.  The eaten frames are charged to `tx_errors`
+    /// and lost (TCP retransmits them); the driver never panics.
+    fn tx_watchdog(&self) {
+        let gap = self.hw.tx_offered().saturating_sub(self.hw.tx_wire());
+        let seen = self.watchdog_gap.load(Ordering::Relaxed);
+        if gap.saturating_sub(seen) >= Self::WATCHDOG_THRESHOLD
+            && self
+                .watchdog_gap
+                .compare_exchange(seen, gap, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.hw.reset();
+            self.env.machine.faults().note_tx_watchdog_reset();
+            self.stats
+                .tx_errors
+                .fetch_add(gap - seen, Ordering::Relaxed);
         }
     }
 
@@ -192,6 +233,7 @@ impl NetDevice {
         );
         self.hw.transmit(frame);
         self.stats.tx_packets.fetch_add(1, Ordering::Relaxed);
+        self.tx_watchdog();
     }
 
     /// Builds and transmits an Ethernet frame around `payload`

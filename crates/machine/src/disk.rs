@@ -109,19 +109,16 @@ impl Disk {
     pub fn submit_read(self: &Arc<Self>, sector: u64, count: usize) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let bytes = count * SECTOR_SIZE;
-        let in_range = self.in_range(sector, count);
+        let fault = self.fault_verdict();
+        let ok = self.in_range(sector, count) && !fault.error;
         let disk = Arc::clone(self);
-        self.schedule(bytes, move || {
-            let data = in_range.then(|| {
+        self.schedule(bytes, fault.extra_ns, move || {
+            let data = ok.then(|| {
                 let media = disk.media.lock();
                 let off = sector as usize * SECTOR_SIZE;
                 media[off..off + count * SECTOR_SIZE].to_vec()
             });
-            disk.complete(Completion {
-                id,
-                ok: in_range,
-                data,
-            });
+            disk.complete(Completion { id, ok, data });
         });
         id
     }
@@ -131,18 +128,19 @@ impl Disk {
         assert_eq!(data.len() % SECTOR_SIZE, 0, "partial-sector write");
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let count = data.len() / SECTOR_SIZE;
-        let in_range = self.in_range(sector, count);
+        let fault = self.fault_verdict();
+        let ok = self.in_range(sector, count) && !fault.error;
         let disk = Arc::clone(self);
         let bytes = data.len();
-        self.schedule(bytes, move || {
-            if in_range {
+        self.schedule(bytes, fault.extra_ns, move || {
+            if ok {
                 let mut media = disk.media.lock();
                 let off = sector as usize * SECTOR_SIZE;
                 media[off..off + data.len()].copy_from_slice(&data);
             }
             disk.complete(Completion {
                 id,
-                ok: in_range,
+                ok,
                 data: None,
             });
         });
@@ -160,11 +158,22 @@ impl Disk {
             .is_some_and(|end| end <= self.num_sectors())
     }
 
-    fn schedule(&self, bytes: usize, work: impl FnOnce() + Send + 'static) {
+    /// Consults the machine's fault plan for one request: a transient
+    /// media error (`Completion::ok == false`), a latency spike, both, or
+    /// — almost always — neither.
+    fn fault_verdict(&self) -> oskit_fault::DiskFault {
+        self.machine
+            .upgrade()
+            .map(|m| m.faults().disk_fault())
+            .unwrap_or_default()
+    }
+
+    fn schedule(&self, bytes: usize, extra_ns: Ns, work: impl FnOnce() + Send + 'static) {
         let Some(machine) = self.machine.upgrade() else {
             return;
         };
         let duration = self.config.overhead_ns
+            + extra_ns
             + bytes as u64 * 1_000_000_000 / self.config.bytes_per_sec.max(1);
         let done = {
             let mut busy = self.busy_until.lock();
@@ -179,6 +188,11 @@ impl Disk {
         self.completed.lock().push_back(c);
         if let Some(machine) = self.machine.upgrade() {
             machine.observe(machine.sim.now());
+            // A lost completion interrupt strands the completion in the
+            // queue; the driver must poll for it or ride the next edge.
+            if machine.faults().irq_lost(self.irq_line) {
+                return;
+            }
             machine.irq.raise(self.irq_line);
         }
     }

@@ -24,6 +24,10 @@ pub use costs::{CostModel, WorkMeter, WorkSnapshot};
 pub use disk::{Completion, Disk, DiskConfig, SECTOR_SIZE};
 pub use irq::{IrqController, IrqGuard, NUM_IRQS};
 pub use machine::{BoundarySpan, Machine};
+pub use oskit_fault::{
+    AllocFaults, DiskFault, DiskFaults, FaultInjector, FaultPlan, FaultSnapshot, IrqFaults,
+    NicFaults, NicTxFault,
+};
 pub use oskit_trace::{boundary, BoundaryId, EventKind, TraceReport, Tracer};
 pub use nic::{Nic, WireConfig, MAX_FRAME, MIN_FRAME};
 pub use phys::{PhysAddr, PhysMem, DMA_LIMIT, LOWER_MEM_END, UPPER_MEM_START};

@@ -4,6 +4,7 @@ use crate::costs::{CostModel, WorkMeter};
 use crate::irq::IrqController;
 use crate::phys::PhysMem;
 use crate::sched::{EventId, Ns, Sim};
+use oskit_fault::FaultInjector;
 use oskit_trace::{BoundaryId, EventKind, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,6 +33,9 @@ pub struct Machine {
     /// Per-boundary structured trace (zero-sized no-op unless the
     /// `trace` feature is enabled).
     tracer: Tracer,
+    /// Scripted fault schedules (zero-sized no-op unless the `fault`
+    /// feature is enabled).
+    faults: FaultInjector,
     clock: AtomicU64,
 }
 
@@ -56,6 +60,7 @@ impl Machine {
             costs,
             meter: WorkMeter::default(),
             tracer: Tracer::new(),
+            faults: FaultInjector::new(),
             clock: AtomicU64::new(0),
         })
     }
@@ -63,6 +68,14 @@ impl Machine {
     /// This machine's tracer: per-boundary refinement of [`Machine::meter`].
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// This machine's fault injector: the device models consult it at
+    /// every fault point, and a kernel installs a
+    /// [`FaultPlan`](oskit_fault::FaultPlan) on it to script faults.
+    /// Inert (all decisions "no fault") until a plan is installed.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// This machine's CPU clock: the virtual time up to which its

@@ -9,6 +9,7 @@
 
 use crate::machine::Machine;
 use crate::sched::Ns;
+use oskit_fault::NicTxFault;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +75,13 @@ pub struct Nic {
     rx_dropped: AtomicU64,
     tx_count: AtomicU64,
     wire_dropped: AtomicU64,
+    /// Frames the driver offered for transmission (includes frames a
+    /// wedged transmitter ate).
+    tx_offered: AtomicU64,
+    /// Frames the transmitter actually serialized onto the wire — the
+    /// hardware counter a driver watchdog compares against `tx_offered`
+    /// to detect a wedge.
+    tx_wire: AtomicU64,
 }
 
 impl Nic {
@@ -98,6 +106,8 @@ impl Nic {
             rx_dropped: AtomicU64::new(0),
             tx_count: AtomicU64::new(0),
             wire_dropped: AtomicU64::new(0),
+            tx_offered: AtomicU64::new(0),
+            tx_wire: AtomicU64::new(0),
         })
     }
 
@@ -158,15 +168,26 @@ impl Nic {
             return;
         };
         machine.meter.packets_sent.fetch_add(1, Ordering::Relaxed);
+        self.tx_offered.fetch_add(1, Ordering::Relaxed);
+        // Scripted faults: a wedged transmitter eats the frame before it
+        // reaches the wire (tx_wire stalls — the watchdog's signal); a
+        // scheduled drop behaves like the drop_every hook below.
+        let injected = match machine.faults().nic_tx_fault(machine.cpu_now()) {
+            NicTxFault::Wedged => return,
+            NicTxFault::Dropped => true,
+            NicTxFault::None => false,
+        };
         // Fault injection: the frame occupies the wire but never arrives.
         let n = self.tx_count.fetch_add(1, Ordering::Relaxed) + 1;
-        let dropped = self
-            .config
-            .drop_every
-            .is_some_and(|every| n.is_multiple_of(every));
+        let dropped = injected
+            || self
+                .config
+                .drop_every
+                .is_some_and(|every| n.is_multiple_of(every));
         if dropped {
             self.wire_dropped.fetch_add(1, Ordering::Relaxed);
         }
+        self.tx_wire.fetch_add(1, Ordering::Relaxed);
         let peer = self.peer.lock().clone();
         let Some(peer) = peer.and_then(|w| w.upgrade()) else {
             return; // Unconnected: frames vanish, like an unplugged cable.
@@ -190,6 +211,29 @@ impl Nic {
         self.wire_dropped.load(Ordering::Relaxed)
     }
 
+    /// Frames the driver has offered for transmission, including frames a
+    /// wedged transmitter ate.
+    pub fn tx_offered(&self) -> u64 {
+        self.tx_offered.load(Ordering::Relaxed)
+    }
+
+    /// Frames the transmitter actually serialized onto the wire — the
+    /// hardware transmit counter.  A driver watchdog that sees
+    /// `tx_offered` advance while `tx_wire` stalls has found a wedged
+    /// transmitter.
+    pub fn tx_wire(&self) -> u64 {
+        self.tx_wire.load(Ordering::Relaxed)
+    }
+
+    /// Re-initializes the transmitter (the watchdog's recovery action):
+    /// clears a wedge in progress so subsequent transmits reach the wire
+    /// again.  Frames already eaten stay lost — the protocol retransmits.
+    pub fn reset(&self) {
+        if let Some(machine) = self.machine.upgrade() {
+            machine.faults().nic_reset(machine.cpu_now());
+        }
+    }
+
     /// Called by the wire when a frame arrives: queues it on the receive
     /// ring and raises the receive interrupt.
     fn wire_deliver(self: &Arc<Self>, frame: Vec<u8>) {
@@ -209,6 +253,11 @@ impl Nic {
             .meter
             .packets_received
             .fetch_add(1, Ordering::Relaxed);
+        // A lost interrupt leaves the frame on the ring; the handler
+        // drains the whole ring on the next delivered edge.
+        if machine.faults().irq_lost(self.irq_line) {
+            return;
+        }
         machine.irq.raise(self.irq_line);
     }
 

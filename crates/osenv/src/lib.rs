@@ -42,6 +42,10 @@ pub struct MemFlags {
     pub below_1m: bool,
     /// Must not cross a 64 KB boundary (ISA DMA counter wrap).
     pub no_64k_cross: bool,
+    /// Requested at interrupt level (the donor kernels' `GFP_ATOMIC` /
+    /// `M_NOWAIT`): the caller cannot sleep or reclaim, so under memory
+    /// pressure — scripted or real — these requests fail first.
+    pub atomic: bool,
 }
 
 /// The overridable memory service.
@@ -182,10 +186,12 @@ impl OsEnv {
     /// stderr log sink.
     pub fn new(machine: &Arc<Machine>) -> Arc<OsEnv> {
         // Environment construction is "boot" for the components above it:
-        // publish the trace service and start counting COM dispatch here,
-        // so any assembled configuration is observable from the start.
+        // publish the trace and fault services and start counting COM
+        // dispatch here, so any assembled configuration is observable
+        // (and fault-scriptable) from the start.
         oskit_trace::register_com_object();
         oskit_trace::instrument_com_dispatch();
+        oskit_fault::register_com_object();
         let mem_size = machine.phys.size();
         Arc::new(OsEnv {
             machine: Arc::clone(machine),
@@ -215,17 +221,43 @@ impl OsEnv {
     }
 
     /// Allocates physical memory under `flags`.
+    ///
+    /// Returns `None` when the pool is exhausted — or when the machine's
+    /// fault plan scripts a failure (`GFP_ATOMIC` requests fail first).
+    /// Either way the failure is counted on the `osenv::mem` boundary and
+    /// logged at [`LogLevel::Warn`]; components must degrade, not panic.
     pub fn mem_alloc(&self, size: usize, align: usize, flags: MemFlags) -> Option<PhysAddr> {
+        if self.machine.faults().alloc_fail(flags.atomic) {
+            self.note_alloc_failure(size, flags);
+            return None;
+        }
         let got = self.mem.lock().alloc(size, align, flags);
-        if got.is_some() {
-            self.machine.trace_note(
+        match got {
+            Some(_) => self.machine.trace_note(
                 boundary!("osenv", "mem"),
                 EventKind::Alloc {
                     bytes: size as u64,
                 },
-            );
+            ),
+            None => self.note_alloc_failure(size, flags),
         }
         got
+    }
+
+    /// Books one allocation failure: a trace event on the `osenv::mem`
+    /// boundary plus a warning through the log sink.
+    fn note_alloc_failure(&self, size: usize, flags: MemFlags) {
+        self.machine.trace_note(
+            boundary!("osenv", "mem"),
+            EventKind::AllocFailed {
+                bytes: size as u64,
+            },
+        );
+        let ctx = if flags.atomic { " (GFP_ATOMIC)" } else { "" };
+        self.log(
+            LogLevel::Warn,
+            &format!("mem_alloc: {size} bytes unavailable{ctx}"),
+        );
     }
 
     /// Frees an allocation.

@@ -34,6 +34,12 @@ pub enum EventKind {
         /// Number of bytes gathered.
         bytes: u64,
     },
+    /// An osenv allocation failed at this boundary (pool exhaustion or an
+    /// injected fault); the component must degrade gracefully.
+    AllocFailed {
+        /// Number of bytes requested.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -46,6 +52,7 @@ impl fmt::Display for EventKind {
             EventKind::Wakeup => write!(f, "wakeup"),
             EventKind::Irq => write!(f, "irq"),
             EventKind::Gather { bytes } => write!(f, "gather({bytes}B)"),
+            EventKind::AllocFailed { bytes } => write!(f, "alloc_failed({bytes}B)"),
         }
     }
 }

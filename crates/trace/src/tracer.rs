@@ -29,6 +29,7 @@ struct BoundaryStats {
     bytes_gathered: AtomicU64,
     allocs: AtomicU64,
     bytes_allocated: AtomicU64,
+    alloc_failed: AtomicU64,
     sleeps: AtomicU64,
     wakeups: AtomicU64,
     irqs: AtomicU64,
@@ -57,6 +58,10 @@ pub struct BoundaryMetrics {
     pub allocs: u64,
     /// Total bytes allocated at this seam.
     pub bytes_allocated: u64,
+    /// Allocations that failed at this seam (exhaustion or injection) —
+    /// the boundary-level companion of the NIC's `rx_dropped` /
+    /// `wire_dropped` drop counters.
+    pub alloc_failed: u64,
     /// Threads that blocked at this seam.
     pub sleeps: u64,
     /// Wakeups delivered at this seam.
@@ -78,6 +83,7 @@ impl BoundaryMetrics {
             && self.bytes_gathered == 0
             && self.allocs == 0
             && self.bytes_allocated == 0
+            && self.alloc_failed == 0
             && self.sleeps == 0
             && self.wakeups == 0
             && self.irqs == 0
@@ -133,13 +139,14 @@ impl fmt::Display for TraceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>7} {:>8} {:>5} {:>12}",
+            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>12}",
             "boundary",
             "crossings",
             "copies",
             "bytes-copied",
             "gathers",
             "allocs",
+            "alloc-ENOMEM",
             "sleeps",
             "wakeups",
             "irqs",
@@ -148,13 +155,14 @@ impl fmt::Display for TraceReport {
         for b in self.nonzero() {
             writeln!(
                 f,
-                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>7} {:>8} {:>5} {:>12}",
+                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>12}",
                 format!("{}::{}", b.component, b.name),
                 b.crossings,
                 b.copies,
                 b.bytes_copied,
                 b.gathers,
                 b.allocs,
+                b.alloc_failed,
                 b.sleeps,
                 b.wakeups,
                 b.irqs,
@@ -211,6 +219,9 @@ impl TracerCore {
             EventKind::Gather { bytes } => {
                 s.gathers.fetch_add(1, Ordering::Relaxed);
                 s.bytes_gathered.fetch_add(bytes, Ordering::Relaxed);
+            }
+            EventKind::AllocFailed { .. } => {
+                s.alloc_failed.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -325,6 +336,7 @@ impl Tracer {
                     bytes_gathered: s.bytes_gathered.load(Ordering::Relaxed),
                     allocs: s.allocs.load(Ordering::Relaxed),
                     bytes_allocated: s.bytes_allocated.load(Ordering::Relaxed),
+                    alloc_failed: s.alloc_failed.load(Ordering::Relaxed),
                     sleeps: s.sleeps.load(Ordering::Relaxed),
                     wakeups: s.wakeups.load(Ordering::Relaxed),
                     irqs: s.irqs.load(Ordering::Relaxed),
@@ -378,6 +390,7 @@ impl Tracer {
                 s.bytes_gathered.store(0, Ordering::Relaxed);
                 s.allocs.store(0, Ordering::Relaxed);
                 s.bytes_allocated.store(0, Ordering::Relaxed);
+                s.alloc_failed.store(0, Ordering::Relaxed);
                 s.sleeps.store(0, Ordering::Relaxed);
                 s.wakeups.store(0, Ordering::Relaxed);
                 s.irqs.store(0, Ordering::Relaxed);

@@ -14,8 +14,22 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> cargo test -q (workspace, default features: trace on)"
+echo "==> cargo test -q (workspace, default features: trace+fault on)"
 cargo test -q
+
+echo "==> fault-soak replay determinism (same seed, two processes, identical ledgers)"
+soak_a=$(cargo test -q -p oskit --test fault_soak -- --nocapture | grep '^fault-soak:' || true)
+soak_b=$(cargo test -q -p oskit --test fault_soak -- --nocapture | grep '^fault-soak:' || true)
+if [ -z "$soak_a" ]; then
+    echo "fault-soak produced no ledger lines" >&2
+    exit 1
+fi
+if [ "$soak_a" != "$soak_b" ]; then
+    echo "fault-soak ledgers differ between identical runs:" >&2
+    echo "--- run 1:" >&2; echo "$soak_a" >&2
+    echo "--- run 2:" >&2; echo "$soak_b" >&2
+    exit 1
+fi
 
 echo "==> cargo clippy --workspace --all-targets (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
