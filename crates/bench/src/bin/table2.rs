@@ -5,11 +5,18 @@
 //! `--boundaries` appends the per-boundary crossing breakdown for the
 //! OSKit client — *which* glue seams the Table 2 latency overhead is
 //! paid at (requires the default `trace` feature).
+//!
+//! `--napi` appends the receive-path ablation: the OSKit configuration
+//! rerun with NIC interrupt mitigation + budgeted polling.  Latency is
+//! where mitigation *loses* — a lone packet waits out the coalesce
+//! delay — so this row quantifies the price table1's `--napi` bandwidth
+//! row pays for its IRQ reduction.
 
 use oskit::{rtcp_run, NetConfig};
 
 fn main() {
     let boundaries = std::env::args().any(|a| a == "--boundaries");
+    let napi = std::env::args().any(|a| a == "--napi");
     let round_trips = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -38,7 +45,7 @@ fn main() {
                 oskit = r.rtt_us;
                 oskit_breakdown = Some(r.client_boundaries.clone());
             }
-            NetConfig::Linux | NetConfig::OsKitSg => {}
+            NetConfig::Linux | NetConfig::OsKitSg | NetConfig::OsKitNapi => {}
         }
     }
     if boundaries {
@@ -60,4 +67,29 @@ fn main() {
     println!("       for modularity and separability\" (paper §5).  Extra data");
     println!("       copies are not part of it: one-byte packets fit in a single");
     println!("       protocol mbuf, enabling mapping into a driver skbuff.");
+
+    if napi {
+        if !oskit::linux_dev::NetDevice::napi_compiled() {
+            println!("\n--napi: napi feature is compiled out; rebuild with default features.");
+            return;
+        }
+        let r = rtcp_run(NetConfig::OsKitNapi, round_trips);
+        println!("\nNAPI ablation (--napi, not a paper configuration):");
+        println!(
+            "{:18} {:>10.1} {:>16.1} {:>12.1}",
+            NetConfig::OsKitNapi.name(),
+            r.rtt_us,
+            r.client.crossings as f64 / round_trips as f64,
+            r.client.copies as f64 / round_trips as f64
+        );
+        let delta = r.rtt_us - oskit;
+        println!(
+            "  [{}] interrupt mitigation trades latency for IRQ count: +{:.1} us/RT",
+            if delta > 0.0 { "ok" } else { "FAIL" },
+            delta
+        );
+        println!("       over the default OSKit row.  A lone packet sits on the ring");
+        println!("       until the NIC's coalesce delay expires — exactly the cost");
+        println!("       table1 --napi shows being repaid at full burst load.");
+    }
 }

@@ -40,6 +40,12 @@ pub enum NetConfig {
     /// ablation, not a paper configuration — the default `OsKit` numbers
     /// are untouched.
     OsKitSg,
+    /// The OSKit with the driver in `NETIF_F_NAPI` receive mode: the NIC
+    /// coalesces receive interrupts and the driver drains the ring with
+    /// budgeted polls instead of taking one interrupt per frame.  An
+    /// ablation, not a paper configuration — the default `OsKit` numbers
+    /// are untouched.
+    OsKitNapi,
 }
 
 impl NetConfig {
@@ -50,6 +56,7 @@ impl NetConfig {
             NetConfig::FreeBsd => "FreeBSD",
             NetConfig::OsKit => "OSKit",
             NetConfig::OsKitSg => "OSKit (SG driver)",
+            NetConfig::OsKitNapi => "OSKit (NAPI rx)",
         }
     }
 }
@@ -169,7 +176,10 @@ fn build(sender_cfg: NetConfig, receiver_cfg: NetConfig) -> Testbed {
                          server: bool|
      -> Box<dyn FnOnce() -> Box<dyn Pipe> + Send> {
         match cfg {
-            NetConfig::FreeBsd | NetConfig::OsKit | NetConfig::OsKitSg => {
+            NetConfig::FreeBsd
+            | NetConfig::OsKit
+            | NetConfig::OsKitSg
+            | NetConfig::OsKitNapi => {
                 let (net, _) = oskit_freebsd_net_init(env);
                 if cfg == NetConfig::FreeBsd {
                     let ifp = attach_native_if(&net, nic);
@@ -178,6 +188,9 @@ fn build(sender_cfg: NetConfig, receiver_cfg: NetConfig) -> Testbed {
                     let dev = NetDevice::new("eth0", env, Arc::clone(nic));
                     if cfg == NetConfig::OsKitSg {
                         dev.set_features(oskit_linux_dev::NETIF_F_SG);
+                    }
+                    if cfg == NetConfig::OsKitNapi {
+                        dev.set_features(oskit_linux_dev::NETIF_F_NAPI);
                     }
                     let com = LinuxEtherDev::new(env, &dev);
                     let ether: Arc<dyn EtherDev> =

@@ -347,6 +347,18 @@ impl FaultInjector {
             .pkt_alloc_drops
             .fetch_add(1, Ordering::Relaxed);
     }
+
+    /// The rx watchdog force-polled a ring whose (coalesced) receive
+    /// interrupt was lost — the NAPI-mode companion of
+    /// [`FaultInjector::note_blk_lost_irq_poll`].
+    #[inline]
+    pub fn note_rx_timeout_poll(&self) {
+        #[cfg(feature = "fault")]
+        self.core
+            .stats
+            .rx_timeout_polls
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl std::fmt::Debug for FaultInjector {

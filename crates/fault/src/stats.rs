@@ -27,6 +27,7 @@ pub(crate) struct FaultStats {
     pub(crate) blk_lost_irq_polls: AtomicU64,
     pub(crate) tx_watchdog_resets: AtomicU64,
     pub(crate) pkt_alloc_drops: AtomicU64,
+    pub(crate) rx_timeout_polls: AtomicU64,
 }
 
 #[cfg(feature = "fault")]
@@ -45,6 +46,7 @@ impl FaultStats {
             blk_lost_irq_polls: self.blk_lost_irq_polls.load(Ordering::Relaxed),
             tx_watchdog_resets: self.tx_watchdog_resets.load(Ordering::Relaxed),
             pkt_alloc_drops: self.pkt_alloc_drops.load(Ordering::Relaxed),
+            rx_timeout_polls: self.rx_timeout_polls.load(Ordering::Relaxed),
         }
     }
 
@@ -61,6 +63,7 @@ impl FaultStats {
         self.blk_lost_irq_polls.store(0, Ordering::Relaxed);
         self.tx_watchdog_resets.store(0, Ordering::Relaxed);
         self.pkt_alloc_drops.store(0, Ordering::Relaxed);
+        self.rx_timeout_polls.store(0, Ordering::Relaxed);
     }
 }
 
@@ -94,6 +97,9 @@ pub struct FaultSnapshot {
     pub tx_watchdog_resets: u64,
     /// Packets dropped because a packet-buffer allocation failed.
     pub pkt_alloc_drops: u64,
+    /// Rx-watchdog timeout polls that recovered a ring stalled by a lost
+    /// coalesced receive interrupt.
+    pub rx_timeout_polls: u64,
 }
 
 impl FaultSnapshot {
@@ -129,12 +135,13 @@ impl fmt::Display for FaultSnapshot {
         )?;
         writeln!(
             f,
-            "  recovered: {} blk-retry, {} blk-hardfail, {} blk-poll, {} watchdog-reset, {} pkt-alloc-drop",
+            "  recovered: {} blk-retry, {} blk-hardfail, {} blk-poll, {} watchdog-reset, {} pkt-alloc-drop, {} rx-timeout-poll",
             self.blk_retries,
             self.blk_hard_failures,
             self.blk_lost_irq_polls,
             self.tx_watchdog_resets,
-            self.pkt_alloc_drops
+            self.pkt_alloc_drops,
+            self.rx_timeout_polls
         )
     }
 }

@@ -59,7 +59,9 @@ pub fn open_ether_if(net: &Arc<BsdNet>, dev: &Arc<dyn EtherDev>) -> Result<Arc<I
     // Receive: wrap each incoming bufio as an external mbuf — "the FreeBSD
     // glue code is able to obtain a direct pointer to the packet data
     // using the map method of the bufio interface, and therefore never has
-    // to copy the incoming data" (§5).
+    // to copy the incoming data" (§5).  Batched (NAPI) delivery arrives as
+    // consecutive pushes of the same shape: every frame of a poll batch
+    // still takes the zero-copy Ext-mbuf wrap.
     let net2 = Arc::clone(net);
     let rx = FnNetIo::new(move |pkt: Arc<dyn BufIo>| {
         let b = oskit_machine::boundary!("freebsd-net", "rx_ether");

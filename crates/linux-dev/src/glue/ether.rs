@@ -133,6 +133,10 @@ impl EtherDev for LinuxEtherDev {
     fn open(&self, rx: Arc<dyn NetIo>) -> Result<Arc<dyn NetIo>> {
         // Receive path: wrap each skbuff as a bufio and push it to the
         // client's netio.  One component-boundary crossing; zero copies.
+        // A NAPI-mode device calls this back-to-back for a whole poll
+        // batch — the per-frame contract is unchanged, so batching is
+        // invisible here except that the frames share one irq+poll
+        // dispatch instead of paying one interrupt each.
         let env = Arc::clone(&self.env);
         self.dev.set_rx_handler(move |skb| {
             let b = oskit_machine::boundary!("linux-dev", "ether_rx");

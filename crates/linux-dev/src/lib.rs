@@ -19,5 +19,5 @@ pub use glue::ether::{LinuxEtherDev, SkbBufIo, SkbIo};
 pub use glue::sockets::{LinuxComSocket, LinuxSocketFactory};
 pub use glue::{fdev_linux_init_ethernet, fdev_linux_init_ide};
 pub use linux::inet::{LinuxInet, LinuxSock};
-pub use linux::netdevice::{NetDevice, NETIF_F_SG};
+pub use linux::netdevice::{NetDevice, NETIF_F_NAPI, NETIF_F_SG};
 pub use linux::skbuff::SkBuff;

@@ -30,6 +30,12 @@ pub struct CostModel {
     pub per_layer_ns: u64,
     /// Fixed cost of taking one hardware interrupt, in nanoseconds.
     pub irq_ns: u64,
+    /// Fixed cost of one softirq-style poll dispatch (scheduling and
+    /// entering a NAPI `poll` callback), in nanoseconds.  Much cheaper
+    /// than `irq_ns`: no context save/restore, no controller EOI — the
+    /// whole economics of interrupt mitigation is paying this per
+    /// *batch* instead of `irq_ns` per *frame*.
+    pub poll_ns: u64,
     /// Cost of programming one scatter-gather descriptor (one fragment
     /// handed to gathering DMA hardware), in nanoseconds.  The CPU writes
     /// a (address, length) pair instead of copying the fragment — this is
@@ -49,6 +55,7 @@ impl Default for CostModel {
             crossing_ns: 500,
             per_layer_ns: 2_000,
             irq_ns: 5_000,
+            poll_ns: 1_500,
             sg_frag_ns: 300,
             syscall_ns: 0,
         }
@@ -94,6 +101,14 @@ pub struct WorkMeter {
     pub bytes_checksummed: AtomicU64,
     /// Hardware interrupts taken.
     pub irqs: AtomicU64,
+    /// Receive interrupts taken (the subset of `irqs` raised by the NIC
+    /// rx path — the quantity interrupt mitigation exists to shrink).
+    pub rx_irqs: AtomicU64,
+    /// NAPI-style poll invocations (budgeted rx batch drains).
+    pub rx_polls: AtomicU64,
+    /// Frames delivered by those polls; `rx_batch_frames / rx_polls` is
+    /// the achieved batch size.
+    pub rx_batch_frames: AtomicU64,
     /// Packets handed to the NIC.
     pub packets_sent: AtomicU64,
     /// Packets received from the NIC.
@@ -111,6 +126,9 @@ impl WorkMeter {
             crossings: self.crossings.load(Ordering::Relaxed),
             bytes_checksummed: self.bytes_checksummed.load(Ordering::Relaxed),
             irqs: self.irqs.load(Ordering::Relaxed),
+            rx_irqs: self.rx_irqs.load(Ordering::Relaxed),
+            rx_polls: self.rx_polls.load(Ordering::Relaxed),
+            rx_batch_frames: self.rx_batch_frames.load(Ordering::Relaxed),
             packets_sent: self.packets_sent.load(Ordering::Relaxed),
             packets_received: self.packets_received.load(Ordering::Relaxed),
         }
@@ -125,6 +143,9 @@ impl WorkMeter {
         self.crossings.store(0, Ordering::Relaxed);
         self.bytes_checksummed.store(0, Ordering::Relaxed);
         self.irqs.store(0, Ordering::Relaxed);
+        self.rx_irqs.store(0, Ordering::Relaxed);
+        self.rx_polls.store(0, Ordering::Relaxed);
+        self.rx_batch_frames.store(0, Ordering::Relaxed);
         self.packets_sent.store(0, Ordering::Relaxed);
         self.packets_received.store(0, Ordering::Relaxed);
     }
@@ -147,6 +168,12 @@ pub struct WorkSnapshot {
     pub bytes_checksummed: u64,
     /// See [`WorkMeter::irqs`].
     pub irqs: u64,
+    /// See [`WorkMeter::rx_irqs`].
+    pub rx_irqs: u64,
+    /// See [`WorkMeter::rx_polls`].
+    pub rx_polls: u64,
+    /// See [`WorkMeter::rx_batch_frames`].
+    pub rx_batch_frames: u64,
     /// See [`WorkMeter::packets_sent`].
     pub packets_sent: u64,
     /// See [`WorkMeter::packets_received`].

@@ -218,6 +218,31 @@ impl Machine {
         self.tracer.record(boundary, EventKind::Irq, self.clock());
     }
 
+    /// Notes that an interrupt just charged was a *receive* interrupt —
+    /// bumps the `rx_irqs` refinement counter without touching the clock
+    /// (the [`Machine::charge_irq_at`] already paid for it).
+    pub fn note_rx_irq(&self) {
+        self.meter.rx_irqs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charges one budgeted poll dispatch that delivered `frames` frames,
+    /// attributed to `boundary`.
+    ///
+    /// This is the NAPI bargain made explicit in the cost model: the CPU
+    /// pays [`CostModel::poll_ns`] once per *batch* where the
+    /// interrupt-per-frame path pays [`CostModel::irq_ns`] per *frame*.
+    /// The per-frame protocol and glue work is still charged by whoever
+    /// consumes the frames — this prices only the dispatch.
+    pub fn charge_rx_poll_at(&self, boundary: BoundaryId, frames: u64) {
+        self.meter.rx_polls.fetch_add(1, Ordering::Relaxed);
+        self.meter
+            .rx_batch_frames
+            .fetch_add(frames, Ordering::Relaxed);
+        self.advance(self.costs.poll_ns);
+        self.tracer
+            .record(boundary, EventKind::Poll { frames }, self.clock());
+    }
+
     /// Records a trace event at `boundary` without charging any work —
     /// used for observations that have no cost-model price of their own
     /// (allocations, sleeps, wakeups reported by the osenv).

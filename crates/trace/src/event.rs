@@ -28,6 +28,11 @@ pub enum EventKind {
     Wakeup,
     /// An interrupt was delivered at this boundary.
     Irq,
+    /// A budgeted poll (NAPI-style batch drain) ran at this boundary.
+    Poll {
+        /// Number of frames the poll delivered.
+        frames: u64,
+    },
     /// Payload bytes were handed to scatter-gather hardware as a fragment
     /// list — descriptors were programmed, but no byte was copied.
     Gather {
@@ -51,6 +56,7 @@ impl fmt::Display for EventKind {
             EventKind::Sleep => write!(f, "sleep"),
             EventKind::Wakeup => write!(f, "wakeup"),
             EventKind::Irq => write!(f, "irq"),
+            EventKind::Poll { frames } => write!(f, "poll({frames} frames)"),
             EventKind::Gather { bytes } => write!(f, "gather({bytes}B)"),
             EventKind::AllocFailed { bytes } => write!(f, "alloc_failed({bytes}B)"),
         }

@@ -33,6 +33,8 @@ struct BoundaryStats {
     sleeps: AtomicU64,
     wakeups: AtomicU64,
     irqs: AtomicU64,
+    polls: AtomicU64,
+    poll_frames: AtomicU64,
     vtime_ns: AtomicU64,
 }
 
@@ -68,6 +70,10 @@ pub struct BoundaryMetrics {
     pub wakeups: u64,
     /// Interrupts delivered at this seam.
     pub irqs: u64,
+    /// Budgeted polls (NAPI-style batch drains) run at this seam.
+    pub polls: u64,
+    /// Frames delivered by those polls.
+    pub poll_frames: u64,
     /// Virtual nanoseconds spent inside spans opened at this seam
     /// (reported by `BoundarySpan` guards in `oskit-machine`).
     pub vtime_ns: u64,
@@ -87,6 +93,8 @@ impl BoundaryMetrics {
             && self.sleeps == 0
             && self.wakeups == 0
             && self.irqs == 0
+            && self.polls == 0
+            && self.poll_frames == 0
             && self.vtime_ns == 0
     }
 }
@@ -139,7 +147,7 @@ impl fmt::Display for TraceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>12}",
+            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>6} {:>11} {:>12}",
             "boundary",
             "crossings",
             "copies",
@@ -150,12 +158,14 @@ impl fmt::Display for TraceReport {
             "sleeps",
             "wakeups",
             "irqs",
+            "polls",
+            "poll-frames",
             "vtime-ns"
         )?;
         for b in self.nonzero() {
             writeln!(
                 f,
-                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>12}",
+                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>6} {:>11} {:>12}",
                 format!("{}::{}", b.component, b.name),
                 b.crossings,
                 b.copies,
@@ -166,6 +176,8 @@ impl fmt::Display for TraceReport {
                 b.sleeps,
                 b.wakeups,
                 b.irqs,
+                b.polls,
+                b.poll_frames,
                 b.vtime_ns
             )?;
         }
@@ -215,6 +227,10 @@ impl TracerCore {
             }
             EventKind::Irq => {
                 s.irqs.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Poll { frames } => {
+                s.polls.fetch_add(1, Ordering::Relaxed);
+                s.poll_frames.fetch_add(frames, Ordering::Relaxed);
             }
             EventKind::Gather { bytes } => {
                 s.gathers.fetch_add(1, Ordering::Relaxed);
@@ -340,6 +356,8 @@ impl Tracer {
                     sleeps: s.sleeps.load(Ordering::Relaxed),
                     wakeups: s.wakeups.load(Ordering::Relaxed),
                     irqs: s.irqs.load(Ordering::Relaxed),
+                    polls: s.polls.load(Ordering::Relaxed),
+                    poll_frames: s.poll_frames.load(Ordering::Relaxed),
                     vtime_ns: s.vtime_ns.load(Ordering::Relaxed),
                 }
             };
@@ -394,6 +412,8 @@ impl Tracer {
                 s.sleeps.store(0, Ordering::Relaxed);
                 s.wakeups.store(0, Ordering::Relaxed);
                 s.irqs.store(0, Ordering::Relaxed);
+                s.polls.store(0, Ordering::Relaxed);
+                s.poll_frames.store(0, Ordering::Relaxed);
                 s.vtime_ns.store(0, Ordering::Relaxed);
             }
             while self.core.ring.pop().is_some() {}

@@ -31,7 +31,7 @@ fn main() {
         match cfg {
             NetConfig::FreeBsd => bsd_rtt = r.rtt_us,
             NetConfig::OsKit => oskit_rtt = r.rtt_us,
-            NetConfig::Linux | NetConfig::OsKitSg => {}
+            NetConfig::Linux | NetConfig::OsKitSg | NetConfig::OsKitNapi => {}
         }
     }
     println!();

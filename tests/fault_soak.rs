@@ -111,6 +111,76 @@ fn netstack_survives_seeded_faults_deterministically() {
     println!("fault-soak: netstack receiver {rf:?}");
 }
 
+/// The NAPI soak plan: nothing but lost interrupts, at a rate high
+/// enough that coalesced receive interrupts — already ~8x rarer than
+/// frames — get eaten repeatedly.
+fn napi_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).irq(IrqFaults { lose_per_mille: 200 })
+}
+
+/// One faulted NAPI transfer: native-FreeBSD sender, OSKit receiver in
+/// `NETIF_F_NAPI` mode.  Byte-exactness asserted inside the harness.
+fn napi_soak_once(seed: u64) -> (FaultSnapshot, FaultSnapshot, WorkSnapshot, WorkSnapshot) {
+    let r = ttcp_run_faulted(
+        NetConfig::FreeBsd,
+        NetConfig::OsKitNapi,
+        512,
+        4096,
+        Some(napi_plan(seed)),
+    );
+    (r.sender_faults, r.receiver_faults, r.sender, r.receiver)
+}
+
+/// The interplay the NAPI path must get right (ISSUE 4 x ISSUE 3): under
+/// interrupt mitigation a single receive interrupt announces a whole
+/// batch, so *losing* one strands up to a ring of frames — and on a quiet
+/// wire no later arrival will re-raise.  The driver's rx watchdog must
+/// convert every such stall into a forced poll within one period, the
+/// transfer must stay byte-exact, and the whole story must replay
+/// deterministically.
+#[test]
+fn napi_receiver_survives_lost_coalesced_irqs() {
+    if !FaultInjector::enabled() {
+        eprintln!("fault feature compiled out; soak skipped");
+        return;
+    }
+    if !oskit::linux_dev::NetDevice::napi_compiled() {
+        eprintln!("napi feature compiled out; soak skipped");
+        return;
+    }
+    let (sf, rf, sw, rw) = napi_soak_once(0x0a51_50ac);
+
+    // The plan bit: receive-side interrupts actually got lost...
+    assert!(rf.irqs_lost > 0, "no rx irqs lost: {rf:?}");
+    // ...and the rx watchdog — not a hang, not a TCP stall-out — is what
+    // brought the ring back every time it mattered.
+    assert!(
+        rf.rx_timeout_polls > 0,
+        "watchdog never had to force a poll: {rf:?}"
+    );
+    // Mitigation stayed on through the faults: batched polls, fewer
+    // interrupts than frames.
+    assert!(rw.rx_polls > 0, "receiver never polled: {rw:?}");
+    assert!(
+        rw.rx_irqs < rw.packets_received,
+        "mitigation off: {} irqs for {} frames",
+        rw.rx_irqs,
+        rw.packets_received
+    );
+
+    // Replay: same seed, same workload → identical ledgers and meters.
+    let (sf2, rf2, sw2, rw2) = napi_soak_once(0x0a51_50ac);
+    assert_eq!(sf, sf2, "sender fault ledger not reproducible");
+    assert_eq!(rf, rf2, "receiver fault ledger not reproducible");
+    assert_eq!(sw, sw2, "sender work counters not reproducible");
+    assert_eq!(rw, rw2, "receiver work counters not reproducible");
+
+    // Cross-process determinism: check.sh runs this test twice and diffs
+    // these lines.
+    println!("fault-soak: napi receiver {rf:?}");
+    println!("fault-soak: napi receiver work {rw:?}");
+}
+
 /// One faulted fileserver run: mkfs, write a 200 kB pattern, read it
 /// back byte-exact, fsck clean.  Returns the machine's fault ledger.
 fn fileserver_soak_once(seed: u64) -> (FaultSnapshot, WorkSnapshot) {

@@ -166,6 +166,7 @@ fn all_configs_transfer_correctly() {
         NetConfig::FreeBsd,
         NetConfig::OsKit,
         NetConfig::OsKitSg,
+        NetConfig::OsKitNapi,
     ] {
         let r = ttcp_run(cfg, 128, 4096);
         assert_eq!(r.bytes, 128 * 4096);

@@ -34,6 +34,10 @@ fi
 echo "==> cargo clippy --workspace --all-targets (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rx battery, napi feature matrix (poll mode + interrupt-per-frame mode)"
+cargo test -q -p oskit --test rx_burst --test rx_props
+cargo test -q -p oskit --no-default-features --features trace,fault --test rx_burst --test rx_props
+
 if [ "$fast" -eq 0 ]; then
     echo "==> cargo build --release (workspace)"
     cargo build --release
@@ -41,6 +45,9 @@ if [ "$fast" -eq 0 ]; then
     cargo build --release -p oskit-bench --no-default-features
     echo "==> cargo test -q -p oskit --no-default-features (trace off)"
     cargo test -q -p oskit --no-default-features
+    echo "==> default table1/table2 stdout byte-identical to tools/golden"
+    ./target/release/table1 | diff - tools/golden/table1.txt
+    ./target/release/table2 | diff - tools/golden/table2.txt
 fi
 
 echo "==> cargo doc --no-deps (warnings denied)"
