@@ -7,7 +7,7 @@ use oskit::{ttcp_run, NetConfig};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ttcp_16MBish");
     g.sample_size(10);
-    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+    for cfg in [NetConfig::linux(), NetConfig::freebsd(), NetConfig::oskit()] {
         g.bench_function(cfg.name(), |b| {
             b.iter(|| {
                 let r = ttcp_run(cfg, 256, 4096);

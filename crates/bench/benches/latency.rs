@@ -6,7 +6,7 @@ use oskit::{rtcp_run, NetConfig};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("rtcp_100rt");
     g.sample_size(10);
-    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+    for cfg in [NetConfig::linux(), NetConfig::freebsd(), NetConfig::oskit()] {
         g.bench_function(cfg.name(), |b| {
             b.iter(|| {
                 let r = rtcp_run(cfg, 100);

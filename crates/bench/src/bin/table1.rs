@@ -41,9 +41,9 @@ fn main() {
     );
     println!("{:10} {:>10} {:>10}", "", "Send", "Receive");
     let mut rows = Vec::new();
-    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
-        let send = ttcp_run_mixed(cfg, NetConfig::FreeBsd, blocks, bs);
-        let recv = ttcp_run_mixed(NetConfig::FreeBsd, cfg, blocks, bs);
+    for cfg in [NetConfig::linux(), NetConfig::freebsd(), NetConfig::oskit()] {
+        let send = ttcp_run_mixed(cfg, NetConfig::freebsd(), blocks, bs);
+        let recv = ttcp_run_mixed(NetConfig::freebsd(), cfg, blocks, bs);
         println!(
             "{:10} {:>10.2} {:>10.2}",
             cfg.name(),
@@ -81,12 +81,12 @@ fn main() {
         // Ablation row, printed after (never instead of) the paper table:
         // the same glue and stack, but the driver advertises NETIF_F_SG and
         // the send path maps mbuf fragments instead of copying them.
-        let send = ttcp_run_mixed(NetConfig::OsKitSg, NetConfig::FreeBsd, blocks, bs);
-        let recv = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKitSg, blocks, bs);
+        let send = ttcp_run_mixed(NetConfig::oskit().sg(true), NetConfig::freebsd(), blocks, bs);
+        let recv = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::oskit().sg(true), blocks, bs);
         println!("\nSG ablation (--sg, not a paper configuration):");
         println!(
             "{:18} {:>10.2} {:>10.2}",
-            NetConfig::OsKitSg.name(),
+            NetConfig::oskit().sg(true).name(),
             send.mbit_s,
             recv.mbit_s
         );
@@ -124,12 +124,12 @@ fn main() {
             // Receive-path ablation, printed after (never instead of) the
             // paper table: same stack, same glue, but the NIC coalesces rx
             // interrupts and the driver drains the ring with budgeted polls.
-            let send = ttcp_run_mixed(NetConfig::OsKitNapi, NetConfig::FreeBsd, blocks, bs);
-            let recv = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKitNapi, blocks, bs);
+            let send = ttcp_run_mixed(NetConfig::oskit().napi(true), NetConfig::freebsd(), blocks, bs);
+            let recv = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::oskit().napi(true), blocks, bs);
             println!("\nNAPI ablation (--napi, not a paper configuration):");
             println!(
                 "{:18} {:>10.2} {:>10.2}",
-                NetConfig::OsKitNapi.name(),
+                NetConfig::oskit().napi(true).name(),
                 send.mbit_s,
                 recv.mbit_s
             );
@@ -169,6 +169,34 @@ fn main() {
         }
     }
 
+    if sg && napi {
+        if !oskit::linux_dev::NetDevice::napi_compiled() {
+            println!("\n--sg --napi: napi feature is compiled out; rebuild with default features.");
+        } else {
+            // Stacked ablation, printed after (never instead of) the
+            // single-feature blocks: the builder composes both knobs on
+            // one driver — gathered transmit and polled receive at once.
+            let cfg = NetConfig::oskit().sg(true).napi(true);
+            let send = ttcp_run_mixed(cfg, NetConfig::freebsd(), blocks, bs);
+            let recv = ttcp_run_mixed(NetConfig::freebsd(), cfg, blocks, bs);
+            println!("\nstacked ablation (--sg --napi, features compose):");
+            println!("{:18} {:>10.2} {:>10.2}", cfg.name(), send.mbit_s, recv.mbit_s);
+            check(
+                "stacked sender still gathers instead of copying",
+                send.sender.gathers > 0 && send.sender.bytes_gathered >= send.bytes,
+            );
+            check(
+                "stacked receiver still drains the ring with budgeted polls",
+                recv.receiver.rx_polls > 0
+                    && recv.receiver.rx_batch_frames == recv.receiver.packets_received,
+            );
+            check(
+                "stacking loses nothing: send >= SG-only shape, recv >= NAPI-only shape (1%)",
+                send.mbit_s >= 90.0 && recv.mbit_s >= oskit_recv * 0.99,
+            );
+        }
+    }
+
     if faults {
         if !oskit::machine::FaultInjector::enabled() {
             println!("\n--faults: fault feature is compiled out; rebuild with default features.");
@@ -193,8 +221,8 @@ fn main() {
                     atomic_fail_per_mille: 2,
                 })
                 .irq(IrqFaults { lose_per_mille: 1 });
-            let send = ttcp_run_faulted(NetConfig::OsKit, NetConfig::FreeBsd, blocks, bs, Some(plan));
-            let recv = ttcp_run_faulted(NetConfig::FreeBsd, NetConfig::OsKit, blocks, bs, Some(plan));
+            let send = ttcp_run_faulted(NetConfig::oskit(), NetConfig::freebsd(), blocks, bs, Some(plan));
+            let recv = ttcp_run_faulted(NetConfig::freebsd(), NetConfig::oskit(), blocks, bs, Some(plan));
             println!("\nfault ablation (--faults, seed 0x0a51c0de, byte-exact transfers):");
             println!("{:18} {:>10.2} {:>10.2}", "OSKit (faults)", send.mbit_s, recv.mbit_s);
             let injected =

@@ -16,6 +16,7 @@ use oskit::{rtcp_run, NetConfig};
 
 fn main() {
     let boundaries = std::env::args().any(|a| a == "--boundaries");
+    let sg = std::env::args().any(|a| a == "--sg");
     let napi = std::env::args().any(|a| a == "--napi");
     let round_trips = std::env::args()
         .nth(1)
@@ -30,7 +31,7 @@ fn main() {
     let mut bsd = 0.0;
     let mut oskit = 0.0;
     let mut oskit_breakdown = None;
-    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+    for cfg in [NetConfig::linux(), NetConfig::freebsd(), NetConfig::oskit()] {
         let r = rtcp_run(cfg, round_trips);
         println!(
             "{:10} {:>10.1} {:>16.1} {:>12.1}",
@@ -39,13 +40,11 @@ fn main() {
             r.client.crossings as f64 / round_trips as f64,
             r.client.copies as f64 / round_trips as f64
         );
-        match cfg {
-            NetConfig::FreeBsd => bsd = r.rtt_us,
-            NetConfig::OsKit => {
-                oskit = r.rtt_us;
-                oskit_breakdown = Some(r.client_boundaries.clone());
-            }
-            NetConfig::Linux | NetConfig::OsKitSg | NetConfig::OsKitNapi => {}
+        if cfg == NetConfig::freebsd() {
+            bsd = r.rtt_us;
+        } else if cfg == NetConfig::oskit() {
+            oskit = r.rtt_us;
+            oskit_breakdown = Some(r.client_boundaries.clone());
         }
     }
     if boundaries {
@@ -73,11 +72,11 @@ fn main() {
             println!("\n--napi: napi feature is compiled out; rebuild with default features.");
             return;
         }
-        let r = rtcp_run(NetConfig::OsKitNapi, round_trips);
+        let r = rtcp_run(NetConfig::oskit().napi(true), round_trips);
         println!("\nNAPI ablation (--napi, not a paper configuration):");
         println!(
             "{:18} {:>10.1} {:>16.1} {:>12.1}",
-            NetConfig::OsKitNapi.name(),
+            NetConfig::oskit().napi(true).name(),
             r.rtt_us,
             r.client.crossings as f64 / round_trips as f64,
             r.client.copies as f64 / round_trips as f64
@@ -91,5 +90,31 @@ fn main() {
         println!("       over the default OSKit row.  A lone packet sits on the ring");
         println!("       until the NIC's coalesce delay expires — exactly the cost");
         println!("       table1 --napi shows being repaid at full burst load.");
+    }
+
+    if sg {
+        // One-byte round trips fit in a single mbuf, so SG transmit has
+        // nothing to gather; the row documents that the knob is latency-
+        // neutral, and with --napi it stacks onto the same driver.
+        let cfg = NetConfig::oskit().sg(true).napi(napi);
+        let r = rtcp_run(cfg, round_trips);
+        println!("\nSG ablation (--sg, not a paper configuration):");
+        println!(
+            "{:18} {:>10.1} {:>16.1} {:>12.1}",
+            cfg.name(),
+            r.rtt_us,
+            r.client.crossings as f64 / round_trips as f64,
+            r.client.copies as f64 / round_trips as f64
+        );
+        if !napi {
+            let delta = (r.rtt_us - oskit).abs();
+            println!(
+                "  [{}] SG is latency-neutral: |Δ| = {:.1} us/RT vs the default",
+                if delta < 1.0 { "ok" } else { "FAIL" },
+                delta
+            );
+            println!("       OSKit row — one-byte segments never fragment, so the");
+            println!("       gather path is simply never taken.");
+        }
     }
 }

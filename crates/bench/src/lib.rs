@@ -4,7 +4,9 @@
 //! Binaries:
 //! * `table1` — TCP bandwidth (paper Table 1);
 //! * `table2` — TCP one-byte round-trip latency (paper Table 2);
-//! * `table3` — filtered source-size breakdown (paper Table 3);
+//! * `table3` — file-serving throughput: cold cache vs warm cache vs
+//!   zero-copy sendfile (the buffer-cache ablation);
+//! * `sizes`  — filtered source-size breakdown (paper Table 3);
 //! * `fig1`   — the component structure diagram (paper Figure 1);
 //! * `footprint` — static component sizes (paper §6.2.5).
 //!

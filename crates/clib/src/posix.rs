@@ -130,6 +130,17 @@ impl PosixIo {
         });
     }
 
+    /// Installs an already-open COM file on a fresh descriptor — the
+    /// bridge for code that resolved a `File` through its own traversal
+    /// (e.g. a security wrapper) and wants descriptor-based I/O on it.
+    pub fn install_file(&self, file: &Arc<dyn File>) -> i32 {
+        self.alloc_fd(Fd {
+            obj: FdObj::File(Arc::clone(file)),
+            offset: 0,
+            flags: OpenFlags::RDWR,
+        })
+    }
+
     fn alloc_fd(&self, fd: Fd) -> i32 {
         let mut fds = self.fds.lock();
         // Descriptors 0-2 are only ever assigned via `install_stream`.
@@ -409,6 +420,31 @@ impl PosixIo {
     pub fn recv(&self, fd: i32, buf: &mut [u8]) -> Result<usize> {
         let s = self.with_socket(fd, |s| Ok(Arc::clone(s)))?;
         s.recv(buf)
+    }
+
+    /// `sendfile(2)`, offset-pointer form: transmits up to `len` bytes of
+    /// `in_fd` (a file) starting at `offset` on `out_fd` (a socket or
+    /// stream), without disturbing `in_fd`'s file offset.
+    ///
+    /// Delegates to [`File::send_on`], so the data path is negotiated by
+    /// interface discovery: a file exporting `oskit_file_bufio` sending
+    /// on a socket exporting `oskit_socket_send_bufio` lends its buffer
+    /// cache pages to the wire with zero copies; any other pairing takes
+    /// the ordinary read/write bounce loop.
+    pub fn sendfile(&self, out_fd: i32, in_fd: i32, offset: u64, len: u64) -> Result<u64> {
+        let file = self.with_fd(in_fd, |f| match &f.obj {
+            FdObj::File(file) => Ok(Arc::clone(file)),
+            FdObj::Dir(_) => Err(Error::IsDir),
+            _ => Err(Error::BadF),
+        })?;
+        // Clone the sink out, then transmit without holding the fd table:
+        // sendfile blocks for the whole transfer.
+        let sink = self.with_fd(out_fd, |f| match &f.obj {
+            FdObj::Socket(s) => Ok(Arc::clone(s) as Arc<dyn oskit_com::IUnknown>),
+            FdObj::Stream(s) => Ok(Arc::clone(s) as Arc<dyn oskit_com::IUnknown>),
+            _ => Err(Error::BadF),
+        })?;
+        file.send_on(&*sink, offset, len)
     }
 
     /// `getsockname(2)`.

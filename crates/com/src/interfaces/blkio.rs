@@ -229,19 +229,92 @@ impl SgBufIo for VecBufIo {}
 
 crate::com_object!(VecBufIo, me, [BlkIo, BufIo, SgBufIo]);
 
+/// The buffer-I/O interface lattice, as seen by [`crate::Query`]:
+/// `SgBufIo` ⊂ `BufIo` ⊂ `BlkIo`.
+///
+/// `query_any` only answers the interfaces an object explicitly
+/// registered; this fallback makes a query for a *supertype* succeed
+/// through any registered subtype, so `BufIo` is a true subtype of
+/// `BlkIo` at the COM level — a `BUFIO_IID` object always answers
+/// `BLKIO_IID`, and an `SgBufIo` object always answers `BUFIO_IID` —
+/// regardless of how its `com_object!` list was spelled.
+pub(crate) fn upcast_query(
+    obj: &(impl IUnknown + ?Sized),
+    iid: &Guid,
+) -> Option<crate::AnyRef> {
+    use crate::ComInterface;
+    if *iid == <dyn BlkIo as ComInterface>::IID {
+        let b = bufio_leg(obj)?;
+        return Some(crate::AnyRef::new::<dyn BlkIo>(b as Arc<dyn BlkIo>));
+    }
+    if *iid == <dyn BufIo as ComInterface>::IID {
+        let sg = obj
+            .query_any(&<dyn SgBufIo as ComInterface>::IID)?
+            .downcast::<dyn SgBufIo>()?;
+        return Some(crate::AnyRef::new::<dyn BufIo>(sg as Arc<dyn BufIo>));
+    }
+    None
+}
+
+/// Finds *some* buffer-I/O view of `obj`: directly as `BufIo`, or through
+/// the `SgBufIo` leg of the lattice.
+fn bufio_leg(obj: &(impl IUnknown + ?Sized)) -> Option<Arc<dyn BufIo>> {
+    use crate::ComInterface;
+    if let Some(b) = obj
+        .query_any(&<dyn BufIo as ComInterface>::IID)
+        .and_then(|r| r.downcast::<dyn BufIo>())
+    {
+        return Some(b);
+    }
+    let sg = obj
+        .query_any(&<dyn SgBufIo as ComInterface>::IID)?
+        .downcast::<dyn SgBufIo>()?;
+    Some(sg as Arc<dyn BufIo>)
+}
+
 /// Copies the full contents of a [`BufIo`] into a fresh `Vec`.
 ///
-/// Uses the zero-copy map when available, falling back on `read`, exactly
-/// like the driver glue in paper §4.7.3.
+/// Prefers the zero-copy views in cheapness order — the fragment list if
+/// the object is scatter-gather capable, then the contiguous map — and
+/// falls back on `read`, exactly like the driver glue in paper §4.7.3.
+/// An object whose mapped bytes disagree with its declared size is
+/// malformed: that is reported as [`Error::Inval`], never truncated
+/// silently.
 pub fn bufio_to_vec(b: &dyn BufIo) -> Result<Vec<u8>> {
     let len = b.get_size()? as usize;
-    let mut out = vec![0u8; len];
-    match b.with_map(0, len, &mut |s| out.copy_from_slice(s)) {
-        Ok(()) => Ok(out),
+    let mut out = Vec::with_capacity(len);
+    // Fragment view first: honors chained storage without flattening
+    // assumptions about contiguity.
+    if let Some(sg) = crate::Query::query::<dyn SgBufIo>(b) {
+        match sg.with_map_fragments(0, len, &mut |fs| {
+            for frag in fs {
+                out.extend_from_slice(frag.data);
+            }
+        }) {
+            Ok(()) => {
+                return if out.len() == len {
+                    Ok(out)
+                } else {
+                    Err(Error::Inval)
+                };
+            }
+            Err(Error::NotImpl) => out.clear(),
+            Err(e) => return Err(e),
+        }
+    }
+    match b.with_map(0, len, &mut |s| out.extend_from_slice(s)) {
+        Ok(()) => {
+            if out.len() == len {
+                Ok(out)
+            } else {
+                Err(Error::Inval)
+            }
+        }
         Err(Error::NotImpl) => {
-            let n = b.read(&mut out, 0)?;
-            out.truncate(n);
-            Ok(out)
+            let mut copy = vec![0u8; len];
+            let n = b.read(&mut copy, 0)?;
+            copy.truncate(n);
+            Ok(copy)
         }
         Err(e) => Err(e),
     }
@@ -340,5 +413,194 @@ mod tests {
         let b = VecBufIo::with_len(2);
         b.set_size(5).unwrap();
         assert_eq!(b.get_size().unwrap(), 5);
+    }
+
+    /// A buffer object that (wrongly, but legally pre-lattice) registers
+    /// only the leaf interface of its inheritance chain.
+    struct LeafOnly {
+        me: crate::SelfRef<LeafOnly>,
+        data: Vec<u8>,
+    }
+    impl BlkIo for LeafOnly {
+        fn get_block_size(&self) -> usize {
+            1
+        }
+        fn read(&self, buf: &mut [u8], offset: u64) -> Result<usize> {
+            let off = offset as usize;
+            if off >= self.data.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(self.data.len() - off);
+            buf[..n].copy_from_slice(&self.data[off..off + n]);
+            Ok(n)
+        }
+        fn write(&self, _buf: &[u8], _offset: u64) -> Result<usize> {
+            Err(Error::NotImpl)
+        }
+        fn get_size(&self) -> Result<u64> {
+            Ok(self.data.len() as u64)
+        }
+    }
+    impl BufIo for LeafOnly {
+        fn with_map(&self, offset: usize, len: usize, f: &mut dyn FnMut(&[u8])) -> Result<()> {
+            let end = offset.checked_add(len).ok_or(Error::Inval)?;
+            if end > self.data.len() {
+                return Err(Error::Inval);
+            }
+            f(&self.data[offset..end]);
+            Ok(())
+        }
+        fn with_map_mut(
+            &self,
+            _offset: usize,
+            _len: usize,
+            _f: &mut dyn FnMut(&mut [u8]),
+        ) -> Result<()> {
+            Err(Error::NotImpl)
+        }
+    }
+    impl SgBufIo for LeafOnly {}
+    crate::com_object!(LeafOnly, me, [SgBufIo]);
+
+    #[test]
+    fn bufio_upcasts_to_blkio_on_every_bufio_object() {
+        // The lattice makes BufIo a *true subtype* of BlkIo: the upcast
+        // works even when the object's com_object! list never mentioned
+        // the supertype.
+        let b = crate::new_com(
+            LeafOnly {
+                me: crate::SelfRef::new(),
+                data: vec![42; 6],
+            },
+            |o| &o.me,
+        );
+        let sg: Arc<dyn SgBufIo> = b.query::<dyn SgBufIo>().unwrap();
+        let buf: Arc<dyn BufIo> = sg.query::<dyn BufIo>().expect("SgBufIo → BufIo upcast");
+        let blk: Arc<dyn BlkIo> = buf.query::<dyn BlkIo>().expect("BufIo → BlkIo upcast");
+        let mut probe = [0u8; 6];
+        assert_eq!(blk.read(&mut probe, 0).unwrap(), 6);
+        assert_eq!(probe, [42; 6]);
+        // And in one hop from the leaf.
+        assert!(sg.query::<dyn BlkIo>().is_some());
+    }
+
+    #[test]
+    fn fully_registered_objects_upcast_too() {
+        let b = VecBufIo::with_len(4);
+        let sg = b.query::<dyn SgBufIo>().unwrap();
+        assert!(sg.query::<dyn BufIo>().is_some());
+        assert!(sg.query::<dyn BlkIo>().is_some());
+        let buf = b.query::<dyn BufIo>().unwrap();
+        assert!(buf.query::<dyn BlkIo>().is_some());
+    }
+
+    /// A two-fragment buffer: `with_map` refuses (discontiguous), the
+    /// fragment view succeeds — the mbuf-chain shape.
+    struct TwoFrags {
+        me: crate::SelfRef<TwoFrags>,
+        a: Vec<u8>,
+        b: Vec<u8>,
+    }
+    impl BlkIo for TwoFrags {
+        fn get_block_size(&self) -> usize {
+            1
+        }
+        fn read(&self, buf: &mut [u8], offset: u64) -> Result<usize> {
+            let all: Vec<u8> = self.a.iter().chain(self.b.iter()).copied().collect();
+            let off = offset as usize;
+            if off >= all.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(all.len() - off);
+            buf[..n].copy_from_slice(&all[off..off + n]);
+            Ok(n)
+        }
+        fn write(&self, _buf: &[u8], _offset: u64) -> Result<usize> {
+            Err(Error::NotImpl)
+        }
+        fn get_size(&self) -> Result<u64> {
+            Ok((self.a.len() + self.b.len()) as u64)
+        }
+    }
+    impl BufIo for TwoFrags {
+        fn with_map(&self, _o: usize, _l: usize, _f: &mut dyn FnMut(&[u8])) -> Result<()> {
+            Err(Error::NotImpl)
+        }
+        fn with_map_mut(
+            &self,
+            _o: usize,
+            _l: usize,
+            _f: &mut dyn FnMut(&mut [u8]),
+        ) -> Result<()> {
+            Err(Error::NotImpl)
+        }
+    }
+    impl SgBufIo for TwoFrags {
+        fn with_map_fragments(
+            &self,
+            offset: usize,
+            len: usize,
+            f: &mut dyn FnMut(&[IoFragment<'_>]),
+        ) -> Result<()> {
+            if offset != 0 || len != self.a.len() + self.b.len() {
+                return Err(Error::NotImpl);
+            }
+            f(&[IoFragment { data: &self.a }, IoFragment { data: &self.b }]);
+            Ok(())
+        }
+    }
+    crate::com_object!(TwoFrags, me, [BlkIo, BufIo, SgBufIo]);
+
+    #[test]
+    fn bufio_to_vec_honors_fragment_lists() {
+        let b = crate::new_com(
+            TwoFrags {
+                me: crate::SelfRef::new(),
+                a: vec![1, 2, 3],
+                b: vec![4, 5],
+            },
+            |o| &o.me,
+        );
+        assert_eq!(bufio_to_vec(&*b).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    /// An object whose declared size disagrees with its mapped bytes.
+    struct Liar {
+        me: crate::SelfRef<Liar>,
+    }
+    impl BlkIo for Liar {
+        fn get_block_size(&self) -> usize {
+            1
+        }
+        fn read(&self, _buf: &mut [u8], _offset: u64) -> Result<usize> {
+            Ok(0)
+        }
+        fn write(&self, _buf: &[u8], _offset: u64) -> Result<usize> {
+            Err(Error::NotImpl)
+        }
+        fn get_size(&self) -> Result<u64> {
+            Ok(10) // Claims 10 bytes...
+        }
+    }
+    impl BufIo for Liar {
+        fn with_map(&self, _o: usize, _l: usize, f: &mut dyn FnMut(&[u8])) -> Result<()> {
+            f(&[7; 4]); // ...maps only 4.
+            Ok(())
+        }
+        fn with_map_mut(
+            &self,
+            _o: usize,
+            _l: usize,
+            _f: &mut dyn FnMut(&mut [u8]),
+        ) -> Result<()> {
+            Err(Error::NotImpl)
+        }
+    }
+    crate::com_object!(Liar, me, [BlkIo, BufIo]);
+
+    #[test]
+    fn bufio_to_vec_rejects_length_mismatch() {
+        let b = crate::new_com(Liar { me: crate::SelfRef::new() }, |o| &o.me);
+        assert_eq!(bufio_to_vec(&*b).unwrap_err(), Error::Inval);
     }
 }

@@ -8,7 +8,10 @@
 //! security wrapping code to do appropriate permission checking."
 
 use crate::error::{Error, Result};
-use crate::iunknown::IUnknown;
+use crate::interfaces::blkio::BufIo;
+use crate::interfaces::socket::{SendBufIo, Socket};
+use crate::interfaces::stream::Stream;
+use crate::iunknown::{IUnknown, Query};
 use crate::{com_interface_decl, oskit_iid};
 use std::sync::Arc;
 
@@ -110,8 +113,126 @@ pub trait File: IUnknown {
 
     /// Flushes cached state for this file to stable storage.
     fn sync(&self) -> Result<()>;
+
+    /// `sendfile`: transmits up to `len` bytes of this file starting at
+    /// `offset` on `sock`, returning the bytes sent (short only at
+    /// end-of-file or if the peer closed).
+    ///
+    /// Pure interface discovery decides the data path.  When the file
+    /// exposes [`FileBufIo`] *and* the socket exposes [`SendBufIo`], the
+    /// file's buffer-cache pages travel to the socket as refcounted
+    /// [`BufIo`] extents — zero bytes copied at the file→socket boundary.
+    /// Otherwise the bytes move through an ordinary bounce buffer
+    /// ([`File::read_at`] + [`Stream::write`]/[`Socket::send`]), which is
+    /// always available.  Callers never need to know which path ran.
+    fn send_on(&self, sock: &dyn IUnknown, offset: u64, len: u64) -> Result<u64> {
+        let size = self.getstat()?.size;
+        if offset >= size {
+            return Ok(0);
+        }
+        let len = len.min(size - offset);
+        if let (Some(fb), Some(sb)) = (
+            self.query::<dyn FileBufIo>(),
+            sock.query::<dyn SendBufIo>(),
+        ) {
+            // Zero-copy leg: hand pinned extents to the socket, windowed
+            // so only a bounded run of cache pages is pinned at once.
+            const WINDOW: u64 = 256 * 1024;
+            let mut sent = 0u64;
+            while sent < len {
+                let want = (len - sent).min(WINDOW) as usize;
+                let extents = fb.read_bufs(offset + sent, want)?;
+                if extents.is_empty() {
+                    break;
+                }
+                for ext in extents {
+                    let mut done = 0;
+                    while done < ext.len {
+                        let n = sb.send_bufio(&ext.buf, ext.off + done, ext.len - done)?;
+                        if n == 0 {
+                            return Ok(sent);
+                        }
+                        done += n;
+                        sent += n as u64;
+                    }
+                }
+            }
+            return Ok(sent);
+        }
+        // Copying fallback: any byte sink the socket offers.
+        let stream = sock.query::<dyn Stream>();
+        let socket = sock.query::<dyn Socket>();
+        if stream.is_none() && socket.is_none() {
+            return Err(Error::Inval);
+        }
+        let mut chunk = vec![0u8; 64 * 1024];
+        let mut sent = 0u64;
+        while sent < len {
+            let want = chunk.len().min((len - sent) as usize);
+            let n = self.read_at(&mut chunk[..want], offset + sent)?;
+            if n == 0 {
+                break;
+            }
+            let mut done = 0;
+            while done < n {
+                let w = match (&stream, &socket) {
+                    (Some(s), _) => s.write(&chunk[done..n])?,
+                    (None, Some(s)) => s.send(&chunk[done..n])?,
+                    (None, None) => unreachable!("checked above"),
+                };
+                if w == 0 {
+                    return Ok(sent);
+                }
+                done += w;
+                sent += w as u64;
+            }
+        }
+        Ok(sent)
+    }
 }
 com_interface_decl!(File, oskit_iid(0x88), "oskit_file");
+
+/// One piece of a file mapped onto a pinned buffer object: bytes
+/// `[off, off+len)` of `buf`.
+///
+/// The `Arc` is the pin — a file system backed by a buffer cache hands
+/// out its cache pages here, and they stay resident until the extent is
+/// dropped.
+#[derive(Clone)]
+pub struct FileExtent {
+    /// The buffer object holding the bytes (typically a cache page).
+    pub buf: Arc<dyn BufIo>,
+    /// Byte offset of the extent within `buf`.
+    pub off: usize,
+    /// Extent length in bytes.
+    pub len: usize,
+}
+
+impl core::fmt::Debug for FileExtent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FileExtent")
+            .field("off", &self.off)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// Buffer-grained file reading: the [`File`] extension behind zero-copy
+/// `sendfile`.
+///
+/// Instead of copying bytes into a caller buffer, [`FileBufIo::read_bufs`]
+/// returns the file's *storage* — pinned, refcounted [`BufIo`] extents
+/// that can cross component boundaries (socket, NIC) without copying.
+pub trait FileBufIo: File {
+    /// Maps up to `len` bytes of the file at `offset` onto buffer-object
+    /// extents, in file order.
+    ///
+    /// Returns fewer bytes than requested only at end-of-file; holes read
+    /// as freshly allocated zero buffers.  Every returned extent pins its
+    /// backing page until dropped.
+    fn read_bufs(&self, offset: u64, len: usize) -> Result<Vec<FileExtent>>;
+}
+com_interface_decl!(FileBufIo, oskit_iid(0x8e), "oskit_file_bufio");
 
 /// A directory: the OSKit's `oskit_dir`, an extension of [`File`].
 ///

@@ -9,6 +9,7 @@
 //! that provides these socket and socket factory interfaces."
 
 use crate::error::Result;
+use crate::interfaces::blkio::BufIo;
 use crate::iunknown::IUnknown;
 use crate::{com_interface_decl, oskit_iid};
 use std::net::Ipv4Addr;
@@ -136,6 +137,26 @@ pub trait SocketFactory: IUnknown {
     fn create(&self, domain: Domain, ty: SockType) -> Result<Arc<dyn Socket>>;
 }
 com_interface_decl!(SocketFactory, oskit_iid(0x8c), "oskit_socket_factory");
+
+/// Buffer-object transmission: the [`Socket`] extension behind zero-copy
+/// `sendfile` (the receiving half of [`crate::interfaces::fs::FileBufIo`]).
+///
+/// The caller lends a refcounted [`BufIo`] — typically a pinned buffer
+/// cache page — and the protocol stack queues a *reference* to it (an
+/// external mbuf) instead of copying the bytes into socket buffers.  The
+/// reference is held as long as retransmission may need the data, which is
+/// exactly as long as the page must stay pinned.
+pub trait SendBufIo: IUnknown {
+    /// Queues bytes `[off, off+len)` of `buf` for transmission, blocking
+    /// while the send buffer is full.  Returns the number of bytes queued
+    /// (0 only if the connection can accept no more data ever).
+    ///
+    /// Implementations that cannot hold external references decline with
+    /// [`crate::Error::NotImpl`]; callers then fall back to a copying
+    /// [`Socket::send`].
+    fn send_bufio(&self, buf: &Arc<dyn BufIo>, off: usize, len: usize) -> Result<usize>;
+}
+com_interface_decl!(SendBufIo, oskit_iid(0x8f), "oskit_socket_send_bufio");
 
 #[cfg(test)]
 mod tests {

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 /// The three systems of Tables 1 and 2.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum NetConfig {
+pub enum StackKind {
     /// Monolithic Linux: the Linux-style stack on the Linux driver,
     /// sharing `sk_buff`s throughout.
     Linux,
@@ -34,29 +34,99 @@ pub enum NetConfig {
     /// The OSKit: the FreeBSD stack bound to the encapsulated Linux
     /// driver through COM netio/bufio glue.
     OsKit,
-    /// The OSKit with the driver in `NETIF_F_SG` scatter-gather mode:
-    /// same stack, same glue, but discontiguous mbuf chains cross the
-    /// `ether_tx` seam as fragment lists instead of being copied.  An
-    /// ablation, not a paper configuration — the default `OsKit` numbers
-    /// are untouched.
-    OsKitSg,
-    /// The OSKit with the driver in `NETIF_F_NAPI` receive mode: the NIC
-    /// coalesces receive interrupts and the driver drains the ring with
-    /// budgeted polls instead of taking one interrupt per frame.  An
-    /// ablation, not a paper configuration — the default `OsKit` numbers
-    /// are untouched.
-    OsKitNapi,
+}
+
+/// One side's configuration: a stack plus *composable* driver feature
+/// knobs.  Built fluently —
+///
+/// ```
+/// use oskit::experiments::NetConfig;
+/// let cfg = NetConfig::oskit().sg(true).napi(true);
+/// assert_eq!(cfg.name(), "OSKit (SG+NAPI)");
+/// ```
+///
+/// The feature knobs only exist on the encapsulated Linux driver, so
+/// they are meaningful only for [`NetConfig::oskit`]; on the monolithic
+/// configurations they are ignored.  Each knob is an ablation, not a
+/// paper configuration — the plain `oskit()` numbers are untouched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NetConfig {
+    kind: StackKind,
+    sg: bool,
+    napi: bool,
 }
 
 impl NetConfig {
-    /// Display name matching the paper's tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            NetConfig::Linux => "Linux",
-            NetConfig::FreeBsd => "FreeBSD",
-            NetConfig::OsKit => "OSKit",
-            NetConfig::OsKitSg => "OSKit (SG driver)",
-            NetConfig::OsKitNapi => "OSKit (NAPI rx)",
+    /// Monolithic Linux.
+    pub fn linux() -> NetConfig {
+        NetConfig {
+            kind: StackKind::Linux,
+            sg: false,
+            napi: false,
+        }
+    }
+
+    /// Monolithic FreeBSD.
+    pub fn freebsd() -> NetConfig {
+        NetConfig {
+            kind: StackKind::FreeBsd,
+            sg: false,
+            napi: false,
+        }
+    }
+
+    /// The OSKit: FreeBSD stack over the encapsulated Linux driver.
+    pub fn oskit() -> NetConfig {
+        NetConfig {
+            kind: StackKind::OsKit,
+            sg: false,
+            napi: false,
+        }
+    }
+
+    /// Sets `NETIF_F_SG` scatter-gather transmit: discontiguous mbuf
+    /// chains cross the `ether_tx` seam as fragment lists instead of
+    /// being copied.
+    pub fn sg(mut self, on: bool) -> NetConfig {
+        self.sg = on;
+        self
+    }
+
+    /// Sets the `NETIF_F_NAPI` receive mode: the NIC coalesces receive
+    /// interrupts and the driver drains the ring with budgeted polls
+    /// instead of taking one interrupt per frame.
+    pub fn napi(mut self, on: bool) -> NetConfig {
+        self.napi = on;
+        self
+    }
+
+    /// Which stack this configuration runs.
+    pub fn kind(self) -> StackKind {
+        self.kind
+    }
+
+    /// Whether scatter-gather transmit is enabled.
+    pub fn has_sg(self) -> bool {
+        self.sg
+    }
+
+    /// Whether NAPI receive is enabled.
+    pub fn has_napi(self) -> bool {
+        self.napi
+    }
+
+    /// Display name matching the paper's tables (feature ablations are
+    /// suffixed, and compose: `"OSKit (SG+NAPI)"`).
+    pub fn name(self) -> String {
+        match self.kind {
+            StackKind::Linux => "Linux".to_string(),
+            StackKind::FreeBsd => "FreeBSD".to_string(),
+            StackKind::OsKit => match (self.sg, self.napi) {
+                (false, false) => "OSKit".to_string(),
+                (true, false) => "OSKit (SG driver)".to_string(),
+                (false, true) => "OSKit (NAPI rx)".to_string(),
+                (true, true) => "OSKit (SG+NAPI)".to_string(),
+            },
         }
     }
 }
@@ -175,21 +245,18 @@ fn build(sender_cfg: NetConfig, receiver_cfg: NetConfig) -> Testbed {
                          ip: Ipv4Addr,
                          server: bool|
      -> Box<dyn FnOnce() -> Box<dyn Pipe> + Send> {
-        match cfg {
-            NetConfig::FreeBsd
-            | NetConfig::OsKit
-            | NetConfig::OsKitSg
-            | NetConfig::OsKitNapi => {
+        match cfg.kind() {
+            StackKind::FreeBsd | StackKind::OsKit => {
                 let (net, _) = oskit_freebsd_net_init(env);
-                if cfg == NetConfig::FreeBsd {
+                if cfg.kind() == StackKind::FreeBsd {
                     let ifp = attach_native_if(&net, nic);
                     ifconfig(&ifp, ip, MASK);
                 } else {
                     let dev = NetDevice::new("eth0", env, Arc::clone(nic));
-                    if cfg == NetConfig::OsKitSg {
+                    if cfg.has_sg() {
                         dev.set_features(oskit_linux_dev::NETIF_F_SG);
                     }
-                    if cfg == NetConfig::OsKitNapi {
+                    if cfg.has_napi() {
                         dev.set_features(oskit_linux_dev::NETIF_F_NAPI);
                     }
                     let com = LinuxEtherDev::new(env, &dev);
@@ -217,7 +284,7 @@ fn build(sender_cfg: NetConfig, receiver_cfg: NetConfig) -> Testbed {
                     })
                 }
             }
-            NetConfig::Linux => {
+            StackKind::Linux => {
                 let dev = NetDevice::new("eth0", env, Arc::clone(nic));
                 let inet = LinuxInet::attach(env, &dev, ip, MASK);
                 let inet2 = Arc::clone(&inet);
@@ -384,6 +451,220 @@ pub fn rtcp_run(config: NetConfig, round_trips: usize) -> RtcpResult {
     }
 }
 
+/// One file-serving configuration of the `table3` benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServeMode {
+    /// `read_at` + `send` over a freshly mounted (cold) buffer cache:
+    /// every block comes off the simulated disk during the transfer.
+    ColdCopy,
+    /// `read_at` + `send` with the cache pre-warmed by a priming pass.
+    WarmCopy,
+    /// `File::send_on` over a warm cache with an SG-capable NIC: cache
+    /// pages travel from the file system to the wire by reference.
+    Sendfile,
+}
+
+impl ServeMode {
+    /// Row label used by the `table3` binary.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeMode::ColdCopy => "cold copy",
+            ServeMode::WarmCopy => "warm copy",
+            ServeMode::Sendfile => "warm sendfile",
+        }
+    }
+}
+
+/// The result of one [`fileserve_run`].
+#[derive(Clone, Debug)]
+pub struct FileServeResult {
+    /// Payload bytes served.
+    pub bytes: u64,
+    /// Client-observed transfer time (connect → EOF), virtual ns.
+    pub elapsed_ns: u64,
+    /// Throughput in Mbit/s of virtual time.
+    pub mbit_s: f64,
+    /// Server-machine work counters, reset after volume prep and
+    /// warm-up so they cover exactly the measured transfer.
+    pub server: WorkSnapshot,
+    /// Client-machine work counters (not reset; includes connect).
+    pub client: WorkSnapshot,
+    /// Per-boundary refinement of `server` (empty rows unless the
+    /// `trace` feature is on).
+    pub server_boundaries: TraceReport,
+}
+
+/// Serves one `kib`-KiB file from an FFS volume on a simulated IDE disk
+/// to a native-FreeBSD client over TCP — the `table3` experiment.
+///
+/// The server is the full OSKit sandwich: encapsulated Linux IDE driver
+/// → shared buffer cache → encapsulated NetBSD FFS → COM file/socket
+/// interfaces → encapsulated FreeBSD TCP → encapsulated Linux Ethernet
+/// driver.  The client asserts the payload is byte-exact, so a passing
+/// sendfile run proves the lent cache pages carried the right bytes.
+pub fn fileserve_run(mode: ServeMode, kib: usize) -> FileServeResult {
+    use oskit_com::interfaces::blkio::BlkIo;
+    use oskit_com::interfaces::fs::FileSystem;
+    use oskit_com::interfaces::socket::{Domain, Shutdown, SockAddr, SockType};
+    use oskit_machine::{Disk, SleepRecord, SECTOR_SIZE};
+    use oskit_netbsd_fs::FfsFileSystem;
+
+    let size = kib * 1024;
+    let sim = Sim::new();
+    sim.set_time_limit(10_000_000_000_000);
+    let ms = Machine::new(&sim, "server", 1 << 22);
+    let mc = Machine::new(&sim, "client", 1 << 22);
+    let nsrv = Nic::new(&ms, [2, 0, 0, 0, 0, 2]);
+    let ncli = Nic::new(&mc, [2, 0, 0, 0, 0, 1]);
+    Nic::connect(&nsrv, &ncli);
+    let es = OsEnv::new(&ms);
+    let ec = OsEnv::new(&mc);
+
+    // Server hardware: an IDE disk behind the encapsulated Linux driver
+    // (sized for the payload plus file-system metadata), and an Ethernet
+    // device — SG-capable in sendfile mode, since the gather path needs
+    // hardware that can follow fragment lists.
+    let sectors = size / SECTOR_SIZE + 8192;
+    let disk = Disk::new(&ms, sectors);
+    let drive = oskit_linux_dev::linux::blkdev::IdeDrive::new("hda", &es, disk);
+    let blkio = oskit_linux_dev::LinuxBlkIo::new(&es, &drive) as Arc<dyn BlkIo>;
+    let dev = NetDevice::new("eth0", &es, Arc::clone(&nsrv));
+    if mode == ServeMode::Sendfile {
+        dev.set_features(oskit_linux_dev::NETIF_F_SG);
+    }
+    let (snet, sf) = oskit_freebsd_net_init(&es);
+    let com = LinuxEtherDev::new(&es, &dev);
+    let ether: Arc<dyn EtherDev> = com.query::<dyn EtherDev>().expect("etherdev");
+    let sif = open_ether_if(&snet, &ether).expect("open");
+    ifconfig(&sif, IP_B, MASK);
+
+    // Client: native FreeBSD.
+    let (cnet, _csf) = oskit_freebsd_net_init(&ec);
+    let cif = attach_native_if(&cnet, &ncli);
+    ifconfig(&cif, IP_A, MASK);
+    ms.irq.enable();
+    mc.irq.enable();
+
+    // The client must not connect before the server's disk prep is done
+    // and the listener is up.
+    let ready = Arc::new(SleepRecord::new());
+    let done = Arc::new(Mutex::new((0u64, 0u64)));
+
+    let sim_s = Arc::clone(&sim);
+    let ms2 = Arc::clone(&ms);
+    let ready_s = Arc::clone(&ready);
+    let keep_s = (snet, sif, com, dev, drive);
+    sim.spawn("fileserve-server", move || {
+        let _keep = keep_s;
+        // Build the volume: a deterministic payload, synced out.
+        FfsFileSystem::mkfs(&blkio).expect("mkfs");
+        {
+            let fs = FfsFileSystem::mount_on(&es, &blkio).expect("mount");
+            let root = fs.getroot().expect("root");
+            let f = root.create("payload", true, 0o644).expect("create");
+            let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let mut off = 0;
+            while off < size {
+                off += f.write_at(&data[off..], off as u64).expect("write");
+            }
+            FileSystem::sync(&*fs).expect("sync");
+            fs.unmount().expect("unmount");
+        }
+        // Remount: the cache starts cold.
+        let fs = FfsFileSystem::mount_on(&es, &blkio).expect("remount");
+        let root = fs.getroot().expect("root");
+        let file = root.lookup("payload").expect("lookup");
+        if mode != ServeMode::ColdCopy {
+            // Priming pass: pull every block of the file into the cache.
+            let mut buf = vec![0u8; 64 * 1024];
+            let mut off = 0u64;
+            loop {
+                let n = file.read_at(&mut buf, off).expect("warm read");
+                if n == 0 {
+                    break;
+                }
+                off += n as u64;
+            }
+        }
+        let ls = sf.create(Domain::Inet, SockType::Stream).expect("socket");
+        ls.bind(SockAddr::any(7070)).expect("bind");
+        ls.listen(1).expect("listen");
+        // Measurement starts here: the counters cover the transfer only.
+        ms2.meter.reset();
+        ms2.tracer().clear();
+        ready_s.signal(&sim_s);
+        let (conn, _) = ls.accept().expect("accept");
+        match mode {
+            ServeMode::Sendfile => {
+                let sent = file.send_on(&*conn, 0, size as u64).expect("send_on");
+                assert_eq!(sent, size as u64, "short sendfile");
+            }
+            ServeMode::ColdCopy | ServeMode::WarmCopy => {
+                let mut buf = vec![0u8; 64 * 1024];
+                let mut off = 0u64;
+                loop {
+                    let n = file.read_at(&mut buf, off).expect("read");
+                    if n == 0 {
+                        break;
+                    }
+                    let mut sent = 0;
+                    while sent < n {
+                        sent += conn.send(&buf[sent..n]).expect("send");
+                    }
+                    off += n as u64;
+                }
+            }
+        }
+        conn.shutdown(Shutdown::Both).expect("shutdown");
+        let mut d = [0u8; 256];
+        while conn.recv(&mut d).unwrap_or(0) != 0 {}
+        FileSystem::sync(&*fs).expect("sync");
+    });
+
+    let sim_c = Arc::clone(&sim);
+    let mc2 = Arc::clone(&mc);
+    let done_c = Arc::clone(&done);
+    sim.spawn("fileserve-client", move || {
+        let _keep = (cif,);
+        ready.wait(&sim_c);
+        let s = oskit_freebsd_net::TcpSock::new(&cnet);
+        s.connect(IP_B, 7070).expect("connect");
+        let start = mc2.cpu_now();
+        let mut buf = vec![0u8; 65536];
+        let mut got = 0usize;
+        loop {
+            let n = s.recv(&mut buf).expect("recv");
+            if n == 0 {
+                break;
+            }
+            // Byte-exact check: on the sendfile path these bytes were
+            // never copied between the cache page and the wire, so this
+            // is the end-to-end proof the lent pages carried the data.
+            for (i, &b) in buf[..n].iter().enumerate() {
+                assert_eq!(b, ((got + i) % 251) as u8, "corrupt byte at {}", got + i);
+            }
+            got += n;
+        }
+        let elapsed = mc2.cpu_now() - start;
+        assert_eq!(got, size, "short transfer");
+        *done_c.lock() = (got as u64, elapsed);
+        s.close();
+        let mut d = [0u8; 256];
+        while s.recv(&mut d).unwrap_or(0) != 0 {}
+    });
+
+    sim.run();
+    let (bytes, elapsed_ns) = *done.lock();
+    FileServeResult {
+        bytes,
+        elapsed_ns,
+        mbit_s: bytes as f64 * 8.0 / (elapsed_ns as f64 / 1e9) / 1e6,
+        server: ms.meter.snapshot(),
+        client: mc.meter.snapshot(),
+        server_boundaries: ms.tracer().metrics(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,9 +672,9 @@ mod tests {
     #[test]
     fn ttcp_shapes_match_the_paper() {
         // Small runs; the shape assertions are what matter (Table 1).
-        let linux = ttcp_run(NetConfig::Linux, 256, 4096);
-        let bsd = ttcp_run(NetConfig::FreeBsd, 256, 4096);
-        let oskit = ttcp_run(NetConfig::OsKit, 256, 4096);
+        let linux = ttcp_run(NetConfig::linux(), 256, 4096);
+        let bsd = ttcp_run(NetConfig::freebsd(), 256, 4096);
+        let oskit = ttcp_run(NetConfig::oskit(), 256, 4096);
         // Everyone actually moves the bytes at a plausible fraction of
         // the 100 Mbit/s wire.
         for r in [&linux, &bsd, &oskit] {
@@ -416,7 +697,7 @@ mod tests {
         if !oskit_machine::Tracer::enabled() {
             return;
         }
-        let oskit = ttcp_run_mixed(NetConfig::OsKit, NetConfig::FreeBsd, 64, 4096);
+        let oskit = ttcp_run_mixed(NetConfig::oskit(), NetConfig::freebsd(), 64, 4096);
         // The Table 1 send-path penalty — one copy per packet when the
         // mbuf chain is handed to the Linux driver — books precisely on
         // the linux-dev ether_tx boundary.
@@ -440,7 +721,7 @@ mod tests {
         // glue boundary (§5: the glue "never has to copy the incoming
         // data").  The only copying boundary is the donor stack's own
         // sockbuf uiomove — the mbuf→user copy native FreeBSD pays too.
-        let rx = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKit, 64, 4096);
+        let rx = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::oskit(), 64, 4096);
         for b in rx.receiver_boundaries.nonzero() {
             if (b.component, b.name) == ("freebsd-net", "sockbuf") {
                 continue;
@@ -453,7 +734,7 @@ mod tests {
         }
         // And that baseline copy is exactly one pass over the payload —
         // identical to a native FreeBSD receiver, i.e. zero *extra*.
-        let native = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, 64, 4096);
+        let native = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::freebsd(), 64, 4096);
         assert_eq!(
             rx.receiver.bytes_copied, native.receiver.bytes_copied,
             "OSKit receiver must copy no more than native FreeBSD"
@@ -462,8 +743,8 @@ mod tests {
 
     #[test]
     fn rtcp_shapes_match_the_paper() {
-        let bsd = rtcp_run(NetConfig::FreeBsd, 50);
-        let oskit = rtcp_run(NetConfig::OsKit, 50);
+        let bsd = rtcp_run(NetConfig::freebsd(), 50);
+        let oskit = rtcp_run(NetConfig::oskit(), 50);
         // Table 2: "the FreeBSD versus OSKit results indicate that the
         // OSKit imposes significant overhead ... largely attributable to
         // the additional glue code."

@@ -18,7 +18,8 @@ pub mod experiments;
 pub mod kernel;
 
 pub use experiments::{
-    rtcp_run, ttcp_run, ttcp_run_faulted, ttcp_run_mixed, NetConfig, RtcpResult, TtcpResult,
+    fileserve_run, rtcp_run, ttcp_run, ttcp_run_faulted, ttcp_run_mixed, FileServeResult,
+    NetConfig, RtcpResult, ServeMode, StackKind, TtcpResult,
 };
 pub use kernel::{Kernel, KernelBuilder};
 

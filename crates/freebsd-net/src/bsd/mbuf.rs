@@ -143,6 +143,48 @@ impl Mbuf {
     }
 }
 
+/// The recursive heart of [`MbufChain::with_fragments`]: accumulates
+/// borrowed slices mbuf by mbuf and calls `done` once the window is
+/// covered.  Continuation-passing style because an external mbuf's bytes
+/// only exist *inside* its bufio's `with_map` callback — recursing within
+/// that callback keeps every borrow alive until `done` runs, with no
+/// `unsafe` lifetime laundering.  Returns `false` if a foreign buffer
+/// declined to map.
+fn walk_fragments(
+    bufs: &[Mbuf],
+    off: usize,
+    len: usize,
+    acc: &[&[u8]],
+    done: &mut dyn FnMut(&[&[u8]]),
+) -> bool {
+    if len == 0 {
+        done(acc);
+        return true;
+    }
+    let m = &bufs[0];
+    if off >= m.len() {
+        return walk_fragments(&bufs[1..], off - m.len(), len, acc, done);
+    }
+    let take = (m.len() - off).min(len);
+    match &m.data {
+        MbufData::Small(v) | MbufData::Cluster(v) => {
+            let d = &v[m.off + off..m.off + off + take];
+            let mut acc2: Vec<&[u8]> = acc.to_vec();
+            acc2.push(d);
+            walk_fragments(&bufs[1..], 0, len - take, &acc2, done)
+        }
+        MbufData::Ext(b) => {
+            let mut inner_ok = false;
+            let mapped = b.with_map(m.off + off, take, &mut |s| {
+                let mut acc2: Vec<&[u8]> = acc.to_vec();
+                acc2.push(s);
+                inner_ok = walk_fragments(&bufs[1..], 0, len - take, &acc2, done);
+            });
+            mapped.is_ok() && inner_ok
+        }
+    }
+}
+
 /// A packet: a chain of mbufs (`m_pkthdr` implied on the chain itself).
 #[derive(Clone, Default)]
 pub struct MbufChain {
@@ -288,8 +330,24 @@ impl MbufChain {
         out
     }
 
-    /// `m_cat`: appends another chain.
+    /// `m_cat`: appends another chain, coalescing at the seam in the
+    /// `sbcompress` spirit.  Two adjacent external mbufs lending
+    /// *contiguous* ranges of the *same* foreign buffer merge into one.
+    /// Besides keeping chains short, this is load-bearing for sendfile:
+    /// a window of one cache page arrives as several appends, and a
+    /// TCP segment spanning two of them would otherwise present the
+    /// same page as two fragments — whose nested `with_map` calls would
+    /// re-enter the page lock.  Merged, a segment touches each page at
+    /// most once.
     pub fn m_cat(&mut self, mut other: MbufChain) {
+        if let (Some(tail), Some(head)) = (self.bufs.last_mut(), other.bufs.first()) {
+            if let (MbufData::Ext(a), MbufData::Ext(b)) = (&tail.data, &head.data) {
+                if Arc::ptr_eq(a, b) && tail.off + tail.len == head.off {
+                    tail.len += head.len;
+                    other.bufs.remove(0);
+                }
+            }
+        }
         self.bufs.append(&mut other.bufs);
     }
 
@@ -321,34 +379,33 @@ impl MbufChain {
 
     /// Runs `f` over bytes `[off, off+len)` as an ordered list of
     /// contiguous slices, one per mbuf touched, without flattening the
-    /// chain.  Returns `None` when any mbuf in the range has external
-    /// storage (its bytes are not directly borrowable).
+    /// chain.  External mbufs contribute their storage through the
+    /// foreign bufio's own map protocol — still zero-copy — so a chain
+    /// carrying lent buffer-cache pages (the `sendfile` path) gathers
+    /// like any other.  Returns `None` only when a foreign buffer
+    /// declines to map (the caller then falls back to a copy).
     pub fn with_fragments<R>(
         &self,
-        mut off: usize,
-        mut len: usize,
+        off: usize,
+        len: usize,
         f: impl FnOnce(&[&[u8]]) -> R,
     ) -> Option<R> {
         assert!(
             off.checked_add(len).is_some_and(|end| end <= self.pkt_len()),
             "with_fragments beyond packet"
         );
-        let mut frags: Vec<&[u8]> = Vec::with_capacity(self.bufs.len());
-        for m in &self.bufs {
-            if len == 0 {
-                break;
+        let mut out = None;
+        let mut f = Some(f);
+        let ok = walk_fragments(&self.bufs, off, len, &[], &mut |frags| {
+            if let Some(f) = f.take() {
+                out = Some(f(frags));
             }
-            if off >= m.len() {
-                off -= m.len();
-                continue;
-            }
-            let d = m.local_data()?;
-            let take = (d.len() - off).min(len);
-            frags.push(&d[off..off + take]);
-            len -= take;
-            off = 0;
+        });
+        if ok {
+            out
+        } else {
+            None
         }
-        Some(f(&frags))
     }
 
     /// Flattens to a `Vec` (tests, diagnostics).
@@ -461,6 +518,30 @@ mod tests {
     }
 
     #[test]
+    fn m_cat_coalesces_adjacent_ext_lends() {
+        use oskit_com::interfaces::blkio::VecBufIo;
+        let page = VecBufIo::from_vec((0..100).collect());
+        let other = VecBufIo::from_vec(vec![9; 100]);
+        // Contiguous ranges of the same foreign buffer merge...
+        let mut chain = MbufChain::from_mbuf(Mbuf::ext(Arc::clone(&page) as _, 10, 20));
+        chain.m_cat(MbufChain::from_mbuf(Mbuf::ext(Arc::clone(&page) as _, 30, 40)));
+        assert_eq!(chain.num_bufs(), 1);
+        assert_eq!(chain.pkt_len(), 60);
+        assert_eq!(chain.to_vec(), (10..70).collect::<Vec<u8>>());
+        // ...so a window spanning the seam maps as ONE fragment: the
+        // nested same-page map a segment straddling two appends would
+        // otherwise attempt (and deadlock on) cannot arise.
+        let mut frags = 0;
+        assert!(chain.with_fragments(0, 60, |parts| frags = parts.len()).is_some());
+        assert_eq!(frags, 1);
+        // Discontiguous ranges and different buffers stay separate.
+        chain.m_cat(MbufChain::from_mbuf(Mbuf::ext(Arc::clone(&page) as _, 80, 10)));
+        assert_eq!(chain.num_bufs(), 2);
+        chain.m_cat(MbufChain::from_mbuf(Mbuf::ext(other, 90, 10)));
+        assert_eq!(chain.num_bufs(), 3);
+    }
+
+    #[test]
     fn ext_mbuf_is_zero_copy() {
         let b = VecBufIo::from_vec((0..100).collect());
         let m = Mbuf::ext(b, 10, 50);
@@ -495,10 +576,80 @@ mod tests {
     }
 
     #[test]
-    fn fragments_refuse_external_storage() {
-        let b = VecBufIo::from_vec(vec![1; 100]);
+    fn fragments_walk_into_external_storage() {
+        // Header mbuf + lent foreign buffer: the sendfile segment shape.
+        // The deep walk borrows the ext bytes through the foreign map
+        // protocol — zero-copy — and presents one fragment per mbuf.
+        let b = VecBufIo::from_vec((0..100).collect());
+        let mut chain = MbufChain::from_mbuf(Mbuf::ext(b, 20, 60));
+        chain.m_prepend(&[2; 14]);
+        let frags = chain
+            .with_fragments(0, 74, |fs| fs.iter().map(|f| f.to_vec()).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0], vec![2; 14]);
+        assert_eq!(frags[1], (20..80).collect::<Vec<u8>>());
+        // Windowing into the ext mbuf honors its base offset.
+        chain
+            .with_fragments(16, 10, |fs| {
+                assert_eq!(fs.len(), 1);
+                assert_eq!(fs[0], &(22..32).collect::<Vec<u8>>()[..]);
+            })
+            .unwrap();
+    }
+
+    /// A buffer object that refuses to map — a remote or device-resident
+    /// buffer whose bytes are not in local memory.
+    struct Unmappable {
+        me: oskit_com::SelfRef<Unmappable>,
+    }
+    impl oskit_com::interfaces::blkio::BlkIo for Unmappable {
+        fn get_block_size(&self) -> usize {
+            1
+        }
+        fn read(&self, buf: &mut [u8], _offset: u64) -> oskit_com::Result<usize> {
+            buf.fill(9);
+            Ok(buf.len())
+        }
+        fn write(&self, _buf: &[u8], _offset: u64) -> oskit_com::Result<usize> {
+            Err(oskit_com::Error::NotImpl)
+        }
+        fn get_size(&self) -> oskit_com::Result<u64> {
+            Ok(100)
+        }
+    }
+    impl BufIo for Unmappable {
+        fn with_map(
+            &self,
+            _o: usize,
+            _l: usize,
+            _f: &mut dyn FnMut(&[u8]),
+        ) -> oskit_com::Result<()> {
+            Err(oskit_com::Error::NotImpl)
+        }
+        fn with_map_mut(
+            &self,
+            _o: usize,
+            _l: usize,
+            _f: &mut dyn FnMut(&mut [u8]),
+        ) -> oskit_com::Result<()> {
+            Err(oskit_com::Error::NotImpl)
+        }
+    }
+    oskit_com::com_object!(Unmappable, me, [BufIo]);
+
+    #[test]
+    fn fragments_refuse_unmappable_external_storage() {
+        let b = oskit_com::new_com(
+            Unmappable {
+                me: oskit_com::SelfRef::new(),
+            },
+            |o| &o.me,
+        );
         let mut chain = MbufChain::from_mbuf(Mbuf::ext(b, 0, 100));
         chain.m_prepend(&[2; 14]);
+        // The foreign buffer declines to map: the gather fails and the
+        // caller must fall back to a copy.
         assert!(chain.with_fragments(0, 114, |_| ()).is_none());
         // A window that avoids the ext mbuf still works.
         assert!(chain.with_fragments(0, 14, |fs| assert_eq!(fs.len(), 1)).is_some());

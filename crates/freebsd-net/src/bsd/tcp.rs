@@ -375,6 +375,54 @@ impl TcpSock {
         Ok(written)
     }
 
+    /// `sosend` for a lent buffer object — the socket half of zero-copy
+    /// `sendfile`.  Queues *references* to bytes `[off, off+len)` of
+    /// `buf` as external mbufs: no uiomove, no bytes copied into socket
+    /// buffers.  The send buffer's mbufs hold the `Arc`, which pins the
+    /// lender's storage (a buffer-cache page) for exactly as long as
+    /// retransmission might need the data.
+    pub fn send_bufio(
+        &self,
+        buf: &Arc<dyn oskit_com::interfaces::blkio::BufIo>,
+        off: usize,
+        len: usize,
+    ) -> Result<usize, oskit_com::Error> {
+        let net = self.net();
+        let mut written = 0;
+        while written < len {
+            {
+                let mut tcb = self.tcb.lock();
+                match tcb.t_state {
+                    TcpState::Established | TcpState::CloseWait => {}
+                    TcpState::Closed => {
+                        return Err(tcb.so_error.take().unwrap_or(oskit_com::Error::Pipe))
+                    }
+                    _ if tcb.fin_wanted => return Err(oskit_com::Error::Pipe),
+                    _ => return Err(oskit_com::Error::NotConn),
+                }
+                let space = tcb.snd_buf.space();
+                if space > 0 {
+                    let n = space.min(len - written);
+                    // Where `send` charges a sockbuf copy (uiomove), this
+                    // path programs one descriptor-like reference.
+                    net.env.machine.charge_gather_at(
+                        oskit_machine::boundary!("freebsd-net", "sockbuf"),
+                        n,
+                        1,
+                    );
+                    let chain =
+                        MbufChain::from_mbuf(Mbuf::ext(Arc::clone(buf), off + written, n));
+                    tcb.snd_buf.append(chain);
+                    written += n;
+                    self.tcp_output(&net, &mut tcb);
+                    continue;
+                }
+            }
+            net.sleep.tsleep(&net.env, self.chan(CHAN_SND));
+        }
+        Ok(written)
+    }
+
     /// `soreceive`: blocks until data, end-of-stream, or error.
     pub fn recv(&self, buf: &mut [u8]) -> Result<usize, oskit_com::Error> {
         let net = self.net();

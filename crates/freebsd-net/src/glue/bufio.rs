@@ -91,11 +91,12 @@ impl SgBufIo for MbufBufIo {
         len: usize,
         f: &mut dyn FnMut(&[IoFragment<'_>]),
     ) -> Result<()> {
-        // The vectored relaxation of `with_map`: every mbuf's bytes are
-        // already in local memory, so the chain maps as a fragment list
-        // with no flattening.  Only external (foreign-buffer) mbufs
-        // decline — their bytes live behind another component's map
-        // protocol.
+        // The vectored relaxation of `with_map`: the chain maps as a
+        // fragment list with no flattening.  External (foreign-buffer)
+        // mbufs contribute through their own map protocol — still
+        // zero-copy — so lent buffer-cache pages (sendfile) gather
+        // straight to the driver; only a foreign buffer that declines
+        // to map forces the copy fallback.
         let end = offset.checked_add(len).ok_or(Error::Inval)?;
         if end > self.chain.pkt_len() {
             return Err(Error::Inval);
@@ -166,15 +167,21 @@ mod tests {
     }
 
     #[test]
-    fn ext_backed_chain_refuses_fragment_map() {
+    fn ext_backed_chain_maps_as_fragments() {
+        // A lent foreign buffer (a cache page on the sendfile path) is
+        // reachable through its own map protocol: the exported chain
+        // gathers zero-copy instead of refusing.
         use oskit_com::interfaces::blkio::VecBufIo;
         let foreign = VecBufIo::from_vec(vec![7; 64]);
-        let chain = MbufChain::from_mbuf(Mbuf::ext(foreign, 0, 64));
+        let mut chain = MbufChain::from_mbuf(Mbuf::ext(foreign, 8, 48));
+        chain.m_prepend(&[1; 14]);
         let b = MbufBufIo::new(chain);
-        assert!(matches!(
-            b.with_map_fragments(0, 64, &mut |_| ()),
-            Err(Error::NotImpl)
-        ));
+        let mut lens = Vec::new();
+        b.with_map_fragments(0, 62, &mut |fs| {
+            lens = fs.iter().map(|f| f.data.len()).collect();
+        })
+        .unwrap();
+        assert_eq!(lens, vec![14, 48]);
     }
 
     #[test]

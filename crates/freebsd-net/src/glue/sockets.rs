@@ -8,8 +8,9 @@
 use crate::bsd::stack::BsdNet;
 use crate::bsd::tcp::TcpSock;
 use crate::bsd::udp::UdpSock;
+use oskit_com::interfaces::blkio::BufIo;
 use oskit_com::interfaces::socket::{
-    Domain, Shutdown, SockAddr, SockOpt, SockType, Socket, SocketFactory,
+    Domain, SendBufIo, Shutdown, SockAddr, SockOpt, SockType, Socket, SocketFactory,
 };
 use oskit_com::interfaces::stream::{AsyncIo, IoReady, Stream};
 use oskit_com::{com_object, new_com, Error, Result, SelfRef};
@@ -245,6 +246,18 @@ impl Stream for BsdComSocket {
     }
 }
 
+impl SendBufIo for BsdComSocket {
+    fn send_bufio(&self, buf: &Arc<dyn BufIo>, off: usize, len: usize) -> Result<usize> {
+        // The boundary crossing is charged like `send`, but the bytes are
+        // *not*: the lent buffer rides the socket layer by reference.
+        self.net
+            .env
+            .machine
+            .charge_crossing_at(oskit_machine::boundary!("freebsd-net", "socket"));
+        self.tcp()?.send_bufio(buf, off, len)
+    }
+}
+
 impl AsyncIo for BsdComSocket {
     fn poll(&self) -> Result<IoReady> {
         Ok(match &self.inner {
@@ -265,4 +278,4 @@ impl AsyncIo for BsdComSocket {
     }
 }
 
-com_object!(BsdComSocket, me, [Socket, Stream, AsyncIo]);
+com_object!(BsdComSocket, me, [Socket, Stream, AsyncIo, SendBufIo]);

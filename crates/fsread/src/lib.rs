@@ -7,8 +7,8 @@
 //! component's caches and write paths (it shares only the on-disk layout
 //! definitions, as the C `fsread` shared NetBSD's headers).
 
-use oskit_com::interfaces::blkio::BlkIo;
-use oskit_com::{Error, Result};
+use oskit_com::interfaces::blkio::{BlkIo, BufIo};
+use oskit_com::{Error, Query, Result};
 use oskit_netbsd_fs::ffs::ondisk::{
     Dinode, DiskDirent, Superblock, BLOCK_SIZE, DIRENT_SIZE, INODES_PER_BLOCK, INODE_SIZE,
     NDADDR, NINDIR, ROOT_INO,
@@ -18,6 +18,10 @@ use std::sync::Arc;
 /// A read-only view of an OFFS volume.
 pub struct FsRead {
     dev: Arc<dyn BlkIo>,
+    /// The same device through its `oskit_bufio` face, when the interface
+    /// lattice offers one — lets block reads borrow the device's storage
+    /// in place instead of copying through `BlkIo::read`.
+    map: Option<Arc<dyn BufIo>>,
     sb: Superblock,
 }
 
@@ -32,19 +36,33 @@ impl FsRead {
         let sb = Superblock::decode(&blk0).ok_or(Error::Inval)?;
         Ok(FsRead {
             dev: Arc::clone(dev),
+            map: dev.query::<dyn BufIo>(),
             sb,
         })
     }
 
-    fn read_block(&self, blk: u32) -> Result<Vec<u8>> {
+    /// Runs `f` over block `blk`, mapping the device's own storage when
+    /// it exports `oskit_bufio` and falling back to a bounce-buffer read
+    /// when it does not (or declines the map).
+    fn with_block<R>(&self, blk: u32, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let off = u64::from(blk) * BLOCK_SIZE as u64;
+        let mut f = Some(f);
+        if let Some(map) = &self.map {
+            let mut out = None;
+            match map.with_map(off as usize, BLOCK_SIZE, &mut |d| {
+                out = f.take().map(|g| g(d));
+            }) {
+                Ok(()) => return out.ok_or(Error::Io),
+                Err(Error::NotImpl) => {} // Mapping declined; bounce below.
+                Err(e) => return Err(e),
+            }
+        }
+        let f = f.ok_or(Error::Io)?;
         let mut buf = vec![0u8; BLOCK_SIZE];
-        let n = self
-            .dev
-            .read(&mut buf, u64::from(blk) * BLOCK_SIZE as u64)?;
-        if n != BLOCK_SIZE {
+        if self.dev.read(&mut buf, off)? != BLOCK_SIZE {
             return Err(Error::Io);
         }
-        Ok(buf)
+        Ok(f(&buf))
     }
 
     fn read_inode(&self, ino: u32) -> Result<Dinode> {
@@ -52,9 +70,8 @@ impl FsRead {
             return Err(Error::Inval);
         }
         let blk = self.sb.itable_start + ino / INODES_PER_BLOCK as u32;
-        let data = self.read_block(blk)?;
         let off = (ino as usize % INODES_PER_BLOCK) * INODE_SIZE;
-        Ok(Dinode::decode(&data[off..off + INODE_SIZE]))
+        self.with_block(blk, |data| Dinode::decode(&data[off..off + INODE_SIZE]))
     }
 
     fn bmap(&self, d: &Dinode, lbn: usize) -> Result<u32> {
@@ -66,13 +83,14 @@ impl FsRead {
             if iblk == 0 {
                 return Ok(0);
             }
-            let data = self.read_block(iblk)?;
-            Ok(u32::from_le_bytes([
-                data[i * 4],
-                data[i * 4 + 1],
-                data[i * 4 + 2],
-                data[i * 4 + 3],
-            ]))
+            self.with_block(iblk, |data| {
+                u32::from_le_bytes([
+                    data[i * 4],
+                    data[i * 4 + 1],
+                    data[i * 4 + 2],
+                    data[i * 4 + 3],
+                ])
+            })
         };
         if lbn < NINDIR {
             return entry(d.indirect, lbn);
@@ -130,8 +148,9 @@ impl FsRead {
             if blk == 0 {
                 buf[done..done + n].fill(0);
             } else {
-                let data = self.read_block(blk)?;
-                buf[done..done + n].copy_from_slice(&data[skew..skew + n]);
+                self.with_block(blk, |data| {
+                    buf[done..done + n].copy_from_slice(&data[skew..skew + n]);
+                })?;
             }
             done += n;
         }

@@ -113,6 +113,12 @@ pub struct WorkMeter {
     pub packets_sent: AtomicU64,
     /// Packets received from the NIC.
     pub packets_received: AtomicU64,
+    /// Buffer-cache lookups satisfied from memory (no device I/O).
+    pub cache_hits: AtomicU64,
+    /// Buffer-cache lookups that filled from the backing device.
+    pub cache_misses: AtomicU64,
+    /// Cached blocks evicted to make room (written back first if dirty).
+    pub cache_evictions: AtomicU64,
 }
 
 impl WorkMeter {
@@ -131,6 +137,9 @@ impl WorkMeter {
             rx_batch_frames: self.rx_batch_frames.load(Ordering::Relaxed),
             packets_sent: self.packets_sent.load(Ordering::Relaxed),
             packets_received: self.packets_received.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -148,6 +157,9 @@ impl WorkMeter {
         self.rx_batch_frames.store(0, Ordering::Relaxed);
         self.packets_sent.store(0, Ordering::Relaxed);
         self.packets_received.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -178,6 +190,12 @@ pub struct WorkSnapshot {
     pub packets_sent: u64,
     /// See [`WorkMeter::packets_received`].
     pub packets_received: u64,
+    /// See [`WorkMeter::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`WorkMeter::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`WorkMeter::cache_evictions`].
+    pub cache_evictions: u64,
 }
 
 #[cfg(test)]

@@ -250,6 +250,30 @@ impl Machine {
         self.tracer.record(boundary, kind, self.clock());
     }
 
+    /// Notes a buffer-cache hit at `boundary`.
+    ///
+    /// Bookkeeping only: a hit costs no device I/O and no copy, so the
+    /// clock is untouched — the whole point of the cache is that the
+    /// virtual-time price of the avoided `blkio` read never gets paid.
+    pub fn note_cache_hit_at(&self, boundary: BoundaryId) {
+        self.meter.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.tracer.count(boundary, EventKind::CacheHit);
+    }
+
+    /// Notes a buffer-cache miss at `boundary` (the fill's device read is
+    /// charged by the backing `blkio` itself).
+    pub fn note_cache_miss_at(&self, boundary: BoundaryId) {
+        self.meter.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.tracer.count(boundary, EventKind::CacheMiss);
+    }
+
+    /// Notes a buffer-cache eviction at `boundary` (any dirty write-back
+    /// is charged by the backing `blkio` itself).
+    pub fn note_cache_evict_at(&self, boundary: BoundaryId) {
+        self.meter.cache_evictions.fetch_add(1, Ordering::Relaxed);
+        self.tracer.count(boundary, EventKind::CacheEvict);
+    }
+
     /// Opens a profiling span at `boundary`: until the returned guard is
     /// dropped, all virtual time this machine's clock advances is
     /// attributed to the boundary's `vtime_ns` metric.

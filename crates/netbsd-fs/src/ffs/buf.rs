@@ -1,201 +1,91 @@
-//! The buffer cache — NetBSD's `bread`/`bwrite`/`bdwrite` in donor idiom.
+//! The buffer cache — NetBSD's `bread`/`bwrite`/`bdwrite` glue, now an
+//! adapter over the *shared* [`oskit_bufcache`] component.
 //!
-//! Caches file system blocks over any `oskit_blkio` device.  Writes are
-//! delayed (`bdwrite`) and flushed by `sync`, as in the donor; an LRU
-//! bound evicts clean buffers and writes back dirty ones.
+//! Historically this file held a private file-system cache; the cache
+//! proper moved to `crates/bufcache` so its pages can travel across
+//! component boundaries (file system → socket → NIC) as refcounted COM
+//! buffer objects.  What remains here is the donor-shaped closure API
+//! (`bread`/`bmodify`/`bwrite_full`/`sync`) the FFS code was written
+//! against, plus [`BufCache::bread_block`], which hands out the pinned
+//! cache page itself for the zero-copy `sendfile` path.
 
 use super::ondisk::BLOCK_SIZE;
+use oskit_bufcache::CachedBlock;
 use oskit_com::interfaces::blkio::BlkIo;
-use oskit_com::{Error, Result};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use oskit_com::Result;
+use oskit_machine::Machine;
 use std::sync::Arc;
 
-struct Buf {
-    data: Vec<u8>,
-    dirty: bool,
-    /// LRU stamp.
-    used: u64,
-}
-
-struct CacheState {
-    bufs: HashMap<u32, Buf>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-}
-
-/// The buffer cache.
+/// The file system's buffer cache: donor-idiom closures over the shared
+/// [`oskit_bufcache::BufCache`].
 pub struct BufCache {
-    dev: Arc<dyn BlkIo>,
-    max_bufs: usize,
-    state: Mutex<CacheState>,
+    inner: oskit_bufcache::BufCache,
 }
 
 impl BufCache {
     /// Wraps a device with an `max_bufs`-block cache.
     pub fn new(dev: Arc<dyn BlkIo>, max_bufs: usize) -> BufCache {
         BufCache {
-            dev,
-            max_bufs: max_bufs.max(4),
-            state: Mutex::new(CacheState {
-                bufs: HashMap::new(),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-            }),
+            inner: oskit_bufcache::BufCache::new(&dev, BLOCK_SIZE, max_bufs),
         }
     }
 
     /// `bread`: runs `f` over the (read-only) contents of block `blkno`.
     pub fn bread<R>(&self, blkno: u32, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        self.with_buf(blkno, |data| f(data))
+        self.inner.bread_with(blkno, f)
+    }
+
+    /// `bread` returning the pinned cache page itself — the handle keeps
+    /// the block resident, and the page is a full COM buffer object
+    /// (`BlkIo`/`BufIo`/`SgBufIo`), so it can be lent across component
+    /// boundaries without copying.
+    pub fn bread_block(&self, blkno: u32) -> Result<Arc<CachedBlock>> {
+        self.inner.bread(blkno)
     }
 
     /// `bdwrite` after modification: runs `f` over the mutable contents
     /// and marks the block dirty (delayed write).
     pub fn bmodify<R>(&self, blkno: u32, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let r = self.with_buf_mut(blkno, f)?;
-        Ok(r)
+        self.inner.bmodify(blkno, f)
     }
 
     /// Overwrites a whole block without reading it first (`getblk` for
     /// full-block writes).
     pub fn bwrite_full(&self, blkno: u32, data: &[u8]) -> Result<()> {
-        assert_eq!(data.len(), BLOCK_SIZE);
-        self.evict_if_needed()?;
-        let mut st = self.state.lock();
-        st.tick += 1;
-        let tick = st.tick;
-        st.bufs.insert(
-            blkno,
-            Buf {
-                data: data.to_vec(),
-                dirty: true,
-                used: tick,
-            },
-        );
-        Ok(())
-    }
-
-    fn with_buf<R>(&self, blkno: u32, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        self.fill(blkno)?;
-        let mut st = self.state.lock();
-        st.tick += 1;
-        let tick = st.tick;
-        let buf = st.bufs.get_mut(&blkno).expect("just filled");
-        buf.used = tick;
-        Ok(f(&buf.data))
-    }
-
-    fn with_buf_mut<R>(&self, blkno: u32, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        self.fill(blkno)?;
-        let mut st = self.state.lock();
-        st.tick += 1;
-        let tick = st.tick;
-        let buf = st.bufs.get_mut(&blkno).expect("just filled");
-        buf.used = tick;
-        buf.dirty = true;
-        Ok(f(&mut buf.data))
-    }
-
-    /// Ensures `blkno` is resident.  Never holds the state lock across
-    /// device I/O (which may block at process level).
-    fn fill(&self, blkno: u32) -> Result<()> {
-        {
-            let mut st = self.state.lock();
-            if st.bufs.contains_key(&blkno) {
-                st.hits += 1;
-                return Ok(());
-            }
-            st.misses += 1;
-        }
-        self.evict_if_needed()?;
-        let mut data = vec![0u8; BLOCK_SIZE];
-        let n = self
-            .dev
-            .read(&mut data, u64::from(blkno) * BLOCK_SIZE as u64)?;
-        if n != BLOCK_SIZE {
-            return Err(Error::Io);
-        }
-        let mut st = self.state.lock();
-        st.tick += 1;
-        let tick = st.tick;
-        st.bufs.entry(blkno).or_insert(Buf {
-            data,
-            dirty: false,
-            used: tick,
-        });
-        Ok(())
-    }
-
-    fn evict_if_needed(&self) -> Result<()> {
-        loop {
-            let victim = {
-                let st = self.state.lock();
-                if st.bufs.len() < self.max_bufs {
-                    return Ok(());
-                }
-                // Oldest buffer.
-                st.bufs
-                    .iter()
-                    .min_by_key(|(_, b)| b.used)
-                    .map(|(&k, b)| (k, b.dirty, b.data.clone()))
-            };
-            let Some((blkno, dirty, data)) = victim else {
-                return Ok(());
-            };
-            if dirty {
-                self.dev
-                    .write(&data, u64::from(blkno) * BLOCK_SIZE as u64)?;
-            }
-            let mut st = self.state.lock();
-            // Only remove if unchanged since we looked (no interleaving
-            // can occur under the component lock, but be precise).
-            if let Some(b) = st.bufs.get(&blkno) {
-                if !b.dirty || dirty {
-                    st.bufs.remove(&blkno);
-                }
-            }
-        }
+        self.inner.bwrite_full(blkno, data)
     }
 
     /// `sync`: writes every dirty buffer back.
     pub fn sync(&self) -> Result<()> {
-        let dirty: Vec<(u32, Vec<u8>)> = {
-            let st = self.state.lock();
-            st.bufs
-                .iter()
-                .filter(|(_, b)| b.dirty)
-                .map(|(&k, b)| (k, b.data.clone()))
-                .collect()
-        };
-        for (blkno, data) in dirty {
-            self.dev
-                .write(&data, u64::from(blkno) * BLOCK_SIZE as u64)?;
-            if let Some(b) = self.state.lock().bufs.get_mut(&blkno) {
-                b.dirty = false;
-            }
-        }
-        Ok(())
+        self.inner.sync()
     }
 
     /// Cache statistics: (hits, misses).
     pub fn stats(&self) -> (u64, u64) {
-        let st = self.state.lock();
-        (st.hits, st.misses)
+        let s = self.inner.stats();
+        (s.hits, s.misses)
+    }
+
+    /// Attaches the machine charged for cache hit/miss/eviction events.
+    pub fn attach_machine(&self, machine: &Arc<Machine>) {
+        self.inner.attach_machine(machine);
     }
 
     /// The underlying device.
     pub fn device(&self) -> &Arc<dyn BlkIo> {
-        &self.dev
+        self.inner.device()
+    }
+
+    /// The shared cache component itself.
+    pub fn shared(&self) -> &oskit_bufcache::BufCache {
+        &self.inner
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oskit_com::interfaces::blkio::VecBufIo;
+    use oskit_com::interfaces::blkio::{BufIo, VecBufIo};
 
     fn ram_dev(blocks: usize) -> Arc<dyn BlkIo> {
         VecBufIo::with_len(blocks * BLOCK_SIZE) as Arc<dyn BlkIo>
@@ -264,5 +154,20 @@ mod tests {
     fn out_of_range_read_errors() {
         let cache = BufCache::new(ram_dev(4), 8);
         assert!(cache.bread(100, |_| ()).is_err());
+    }
+
+    #[test]
+    fn bread_block_lends_the_cache_page_as_bufio() {
+        let cache = BufCache::new(ram_dev(16), 8);
+        cache
+            .bmodify(4, |b| b[10..14].copy_from_slice(b"page"))
+            .unwrap();
+        let page = cache.bread_block(4).unwrap();
+        page.with_map(10, 4, &mut |s| assert_eq!(s, b"page")).unwrap();
+        // Holding the handle pins the block against thrashing.
+        for blk in 5..16 {
+            cache.bread(blk, |_| ()).unwrap();
+        }
+        assert!(cache.shared().cached(4));
     }
 }

@@ -6,7 +6,8 @@ use super::ondisk::{
     layout, mode, Dinode, DiskDirent, Superblock, BLOCK_SIZE, DIRENT_SIZE, INODES_PER_BLOCK,
     INODE_SIZE, MAX_NAME, NDADDR, NINDIR, ROOT_INO,
 };
-use oskit_com::interfaces::blkio::BlkIo;
+use oskit_com::interfaces::blkio::{BlkIo, BufIo, VecBufIo};
+use oskit_com::interfaces::fs::FileExtent;
 use oskit_com::{Error, Result};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -288,6 +289,45 @@ impl FsCore {
             done += n;
         }
         Ok(done)
+    }
+
+    /// Maps up to `len` bytes of inode `ino` at `offset` onto *pinned
+    /// cache pages* — the zero-copy counterpart of [`FsCore::file_read`].
+    ///
+    /// Each returned extent's `Arc` keeps its cache block resident, so
+    /// the bytes can be lent across component boundaries (socket, NIC)
+    /// without a private copy.  Holes come back as fresh zero buffers.
+    pub fn file_extents(&self, ino: u32, offset: u64, len: usize) -> Result<Vec<FileExtent>> {
+        self.check_alive()?;
+        let mut d = self.read_inode(ino)?;
+        if offset >= d.size {
+            return Ok(Vec::new());
+        }
+        let want = len.min((d.size - offset) as usize);
+        let mut out = Vec::new();
+        let mut done = 0;
+        while done < want {
+            let pos = offset + done as u64;
+            let lbn = (pos / BLOCK_SIZE as u64) as u32;
+            let skew = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - skew).min(want - done);
+            let blk = self.bmap(&mut d, lbn, false)?;
+            if blk == 0 {
+                out.push(FileExtent {
+                    buf: VecBufIo::with_len(n) as Arc<dyn BufIo>,
+                    off: 0,
+                    len: n,
+                });
+            } else {
+                out.push(FileExtent {
+                    buf: self.cache.bread_block(blk)? as Arc<dyn BufIo>,
+                    off: skew,
+                    len: n,
+                });
+            }
+            done += n;
+        }
+        Ok(out)
     }
 
     /// Writes `buf` into inode `ino` at `offset`, growing the file.

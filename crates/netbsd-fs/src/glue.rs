@@ -12,7 +12,8 @@ use crate::ffs::fs::FsCore;
 use crate::ffs::ondisk::{mode, DiskDirent, ROOT_INO};
 use oskit_com::interfaces::blkio::BlkIo;
 use oskit_com::interfaces::fs::{
-    check_component, Dir, Dirent, File, FileStat, FileSystem, FileType, FsStat, StatChange,
+    check_component, Dir, Dirent, File, FileBufIo, FileExtent, FileStat, FileSystem, FileType,
+    FsStat, StatChange,
 };
 use oskit_com::{com_object, new_com, Error, IUnknown, Query, Result, SelfRef};
 
@@ -74,6 +75,7 @@ impl FfsFileSystem {
     /// component lock and crossings are charged.
     pub fn mount_on(env: &Arc<OsEnv>, dev: &Arc<dyn BlkIo>) -> Result<Arc<FfsFileSystem>> {
         let core = FsCore::mount(dev)?;
+        core.cache().attach_machine(&env.machine);
         oskit_com::registry::register(oskit_com::registry::ComponentDesc {
             name: "netbsd_fs",
             library: "liboskit_netbsd_fs",
@@ -180,7 +182,14 @@ impl FfsNode {
 impl File for FfsNode {
     fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<usize> {
         let _g = self.mount.enter();
-        self.core().file_read(self.ino, buf, offset)
+        let n = self.core().file_read(self.ino, buf, offset)?;
+        // The cache-page → caller-buffer copy-out; the lent-page path
+        // (`read_bufs`) hands the pages themselves out instead.
+        if let Some(env) = &self.mount.env {
+            env.machine
+                .charge_copy_at(oskit_machine::boundary!("netbsd-fs", "fs_read"), n);
+        }
+        Ok(n)
     }
 
     fn write_at(&self, buf: &[u8], offset: u64) -> Result<usize> {
@@ -411,9 +420,17 @@ impl Dir for FfsNode {
     }
 }
 
+impl FileBufIo for FfsNode {
+    fn read_bufs(&self, offset: u64, len: usize) -> Result<Vec<FileExtent>> {
+        let _g = self.mount.enter();
+        self.core().file_extents(self.ino, offset, len)
+    }
+}
+
 // `query_any` is hand-written: a node answers the `Dir` interface only
-// when its inode really is a directory — interface presence *is* the type
-// probe here (paper §4.4.2 "safe downcasting").
+// when its inode really is a directory, and the buffer-grained read
+// extension (`FileBufIo`) only for regular files — interface presence
+// *is* the type probe here (paper §4.4.2 "safe downcasting").
 impl IUnknown for FfsNode {
     fn query_any(&self, iid: &oskit_com::Guid) -> Option<oskit_com::AnyRef> {
         use oskit_com::ComInterface;
@@ -429,23 +446,27 @@ impl IUnknown for FfsNode {
                 me as Arc<dyn FfsIdent>,
             ));
         }
-        if *iid == <dyn Dir as ComInterface>::IID {
-            let is_dir = self
-                .core()
-                .read_inode(self.ino)
-                .map(|d| d.is_dir())
-                .unwrap_or(false);
-            if is_dir {
-                return Some(oskit_com::AnyRef::new::<dyn Dir>(me as Arc<dyn Dir>));
-            }
+        let is_dir = self
+            .core()
+            .read_inode(self.ino)
+            .map(|d| d.is_dir())
+            .unwrap_or(false);
+        if *iid == <dyn Dir as ComInterface>::IID && is_dir {
+            return Some(oskit_com::AnyRef::new::<dyn Dir>(me as Arc<dyn Dir>));
+        }
+        if *iid == <dyn FileBufIo as ComInterface>::IID && !is_dir {
+            return Some(oskit_com::AnyRef::new::<dyn FileBufIo>(
+                me as Arc<dyn FileBufIo>,
+            ));
         }
         None
     }
 
     fn interfaces(&self) -> &'static [(&'static str, oskit_com::Guid)] {
-        const LIST: [(&str, oskit_com::Guid); 3] = [
+        const LIST: [(&str, oskit_com::Guid); 4] = [
             ("oskit_file", oskit_com::oskit_iid(0x88)),
             ("oskit_dir", oskit_com::oskit_iid(0x89)),
+            ("oskit_file_bufio", oskit_com::oskit_iid(0x8e)),
             ("netbsd_fs_ident", oskit_com::oskit_iid(0xB0)),
         ];
         &LIST

@@ -45,6 +45,15 @@ pub enum EventKind {
         /// Number of bytes requested.
         bytes: u64,
     },
+    /// A buffer-cache lookup was satisfied from memory at this boundary —
+    /// no device I/O, no copy.
+    CacheHit,
+    /// A buffer-cache lookup missed and had to fill from the backing
+    /// device at this boundary.
+    CacheMiss,
+    /// A cached block was evicted (written back first if dirty) at this
+    /// boundary to make room.
+    CacheEvict,
 }
 
 impl fmt::Display for EventKind {
@@ -59,6 +68,9 @@ impl fmt::Display for EventKind {
             EventKind::Poll { frames } => write!(f, "poll({frames} frames)"),
             EventKind::Gather { bytes } => write!(f, "gather({bytes}B)"),
             EventKind::AllocFailed { bytes } => write!(f, "alloc_failed({bytes}B)"),
+            EventKind::CacheHit => write!(f, "cache_hit"),
+            EventKind::CacheMiss => write!(f, "cache_miss"),
+            EventKind::CacheEvict => write!(f, "cache_evict"),
         }
     }
 }

@@ -35,6 +35,9 @@ struct BoundaryStats {
     irqs: AtomicU64,
     polls: AtomicU64,
     poll_frames: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
     vtime_ns: AtomicU64,
 }
 
@@ -74,6 +77,12 @@ pub struct BoundaryMetrics {
     pub polls: u64,
     /// Frames delivered by those polls.
     pub poll_frames: u64,
+    /// Buffer-cache lookups satisfied from memory at this seam.
+    pub cache_hits: u64,
+    /// Buffer-cache lookups that had to fill from the backing device.
+    pub cache_misses: u64,
+    /// Cached blocks evicted at this seam to make room.
+    pub cache_evictions: u64,
     /// Virtual nanoseconds spent inside spans opened at this seam
     /// (reported by `BoundarySpan` guards in `oskit-machine`).
     pub vtime_ns: u64,
@@ -95,6 +104,9 @@ impl BoundaryMetrics {
             && self.irqs == 0
             && self.polls == 0
             && self.poll_frames == 0
+            && self.cache_hits == 0
+            && self.cache_misses == 0
+            && self.cache_evictions == 0
             && self.vtime_ns == 0
     }
 }
@@ -147,7 +159,7 @@ impl fmt::Display for TraceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>6} {:>11} {:>12}",
+            "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>6} {:>11} {:>7} {:>7} {:>7} {:>12}",
             "boundary",
             "crossings",
             "copies",
@@ -160,12 +172,15 @@ impl fmt::Display for TraceReport {
             "irqs",
             "polls",
             "poll-frames",
+            "c-hits",
+            "c-miss",
+            "c-evict",
             "vtime-ns"
         )?;
         for b in self.nonzero() {
             writeln!(
                 f,
-                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>6} {:>11} {:>12}",
+                "  {:<34} {:>9} {:>7} {:>12} {:>7} {:>7} {:>9} {:>7} {:>8} {:>5} {:>6} {:>11} {:>7} {:>7} {:>7} {:>12}",
                 format!("{}::{}", b.component, b.name),
                 b.crossings,
                 b.copies,
@@ -178,6 +193,9 @@ impl fmt::Display for TraceReport {
                 b.irqs,
                 b.polls,
                 b.poll_frames,
+                b.cache_hits,
+                b.cache_misses,
+                b.cache_evictions,
                 b.vtime_ns
             )?;
         }
@@ -238,6 +256,15 @@ impl TracerCore {
             }
             EventKind::AllocFailed { .. } => {
                 s.alloc_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::CacheHit => {
+                s.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::CacheMiss => {
+                s.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::CacheEvict => {
+                s.cache_evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -358,6 +385,9 @@ impl Tracer {
                     irqs: s.irqs.load(Ordering::Relaxed),
                     polls: s.polls.load(Ordering::Relaxed),
                     poll_frames: s.poll_frames.load(Ordering::Relaxed),
+                    cache_hits: s.cache_hits.load(Ordering::Relaxed),
+                    cache_misses: s.cache_misses.load(Ordering::Relaxed),
+                    cache_evictions: s.cache_evictions.load(Ordering::Relaxed),
                     vtime_ns: s.vtime_ns.load(Ordering::Relaxed),
                 }
             };
@@ -414,6 +444,9 @@ impl Tracer {
                 s.irqs.store(0, Ordering::Relaxed);
                 s.polls.store(0, Ordering::Relaxed);
                 s.poll_frames.store(0, Ordering::Relaxed);
+                s.cache_hits.store(0, Ordering::Relaxed);
+                s.cache_misses.store(0, Ordering::Relaxed);
+                s.cache_evictions.store(0, Ordering::Relaxed);
                 s.vtime_ns.store(0, Ordering::Relaxed);
             }
             while self.core.ring.pop().is_some() {}

@@ -19,7 +19,7 @@ fn main() {
     println!("{:10} {:>12} {:>14} {:>12}", "", "RTT (us)", "crossings/RT", "copies/RT");
     let mut bsd_rtt = 0.0;
     let mut oskit_rtt = 0.0;
-    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+    for cfg in [NetConfig::linux(), NetConfig::freebsd(), NetConfig::oskit()] {
         let r = rtcp_run(cfg, round_trips);
         println!(
             "{:10} {:>12.1} {:>14.1} {:>12.1}",
@@ -28,10 +28,10 @@ fn main() {
             r.client.crossings as f64 / round_trips as f64,
             r.client.copies as f64 / round_trips as f64,
         );
-        match cfg {
-            NetConfig::FreeBsd => bsd_rtt = r.rtt_us,
-            NetConfig::OsKit => oskit_rtt = r.rtt_us,
-            NetConfig::Linux | NetConfig::OsKitSg | NetConfig::OsKitNapi => {}
+        if cfg == NetConfig::freebsd() {
+            bsd_rtt = r.rtt_us;
+        } else if cfg == NetConfig::oskit() {
+            oskit_rtt = r.rtt_us;
         }
     }
     println!();

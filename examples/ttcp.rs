@@ -31,11 +31,11 @@ fn main() {
     );
     println!("(paper §5, Table 1; virtual-time Mbit/s)\n");
     println!("{:10} {:>10} {:>10}", "", "Send", "Receive");
-    for cfg in [NetConfig::Linux, NetConfig::FreeBsd, NetConfig::OsKit] {
+    for cfg in [NetConfig::linux(), NetConfig::freebsd(), NetConfig::oskit()] {
         // Send row: system under test transmits to a native-FreeBSD peer.
-        let send = ttcp_run_mixed(cfg, NetConfig::FreeBsd, blocks, block_size);
+        let send = ttcp_run_mixed(cfg, NetConfig::freebsd(), blocks, block_size);
         // Receive row: a native-FreeBSD peer transmits to it.
-        let recv = ttcp_run_mixed(NetConfig::FreeBsd, cfg, blocks, block_size);
+        let recv = ttcp_run_mixed(NetConfig::freebsd(), cfg, blocks, block_size);
         println!(
             "{:10} {:>10.2} {:>10.2}",
             cfg.name(),
@@ -46,8 +46,8 @@ fn main() {
     println!();
 
     // The mechanics behind the shape, from the work meters.
-    let oskit = ttcp_run_mixed(NetConfig::OsKit, NetConfig::OsKit, blocks.min(1024), block_size);
-    let bsd = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, blocks.min(1024), block_size);
+    let oskit = ttcp_run_mixed(NetConfig::oskit(), NetConfig::oskit(), blocks.min(1024), block_size);
+    let bsd = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::freebsd(), blocks.min(1024), block_size);
     println!("why (per {} MB):", blocks.min(1024) * block_size / (1024 * 1024));
     println!(
         "  OSKit sender copied {} B in {} copies ({} glue crossings);",

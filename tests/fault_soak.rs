@@ -64,8 +64,8 @@ fn fileserver_plan(seed: u64) -> FaultPlan {
 /// harness (the receiver counts every byte).
 fn netstack_soak_once(seed: u64) -> (FaultSnapshot, FaultSnapshot, WorkSnapshot, WorkSnapshot) {
     let r = ttcp_run_faulted(
-        NetConfig::OsKit,
-        NetConfig::FreeBsd,
+        NetConfig::oskit(),
+        NetConfig::freebsd(),
         512,
         4096,
         Some(netstack_plan(seed)),
@@ -122,8 +122,8 @@ fn napi_plan(seed: u64) -> FaultPlan {
 /// `NETIF_F_NAPI` mode.  Byte-exactness asserted inside the harness.
 fn napi_soak_once(seed: u64) -> (FaultSnapshot, FaultSnapshot, WorkSnapshot, WorkSnapshot) {
     let r = ttcp_run_faulted(
-        NetConfig::FreeBsd,
-        NetConfig::OsKitNapi,
+        NetConfig::freebsd(),
+        NetConfig::oskit().napi(true),
         512,
         4096,
         Some(napi_plan(seed)),
@@ -237,12 +237,84 @@ fn fileserver_survives_seeded_faults_deterministically() {
     println!("fault-soak: fileserver {fl:?}");
 }
 
+/// One faulted cache-soak run: build a file, drop the cache (remount),
+/// then read it twice.  The first pass *fills* the shared buffer cache
+/// through the faulted disk — every fill that hits a transient error
+/// must be retried by the block layer, not surfaced to the cache or
+/// beyond.  The second pass must be served entirely from the cache: no
+/// new misses, so no chance for the still-faulted disk to bite.
+fn cache_soak_once(seed: u64) -> (FaultSnapshot, WorkSnapshot) {
+    let sim = Sim::new();
+    let (kernel, _, _) = KernelBuilder::new("cache-soak").disk(8192).boot(&sim);
+    kernel.machine.faults().install(fileserver_plan(seed));
+    let k = Arc::clone(&kernel);
+    sim.spawn("main", move || {
+        let blkio = k.init_disks()[0].clone();
+        FfsFileSystem::mkfs(&blkio).expect("mkfs under faults");
+        let data: Vec<u8> = (0..150_000).map(|i| (i % 241) as u8).collect();
+        {
+            let fs = FfsFileSystem::mount_on(&k.env, &blkio).expect("mount under faults");
+            let root = fs.getroot().unwrap();
+            let f = root.create("cached.dat", true, 0o644).unwrap();
+            let mut off = 0;
+            while off < data.len() {
+                off += f.write_at(&data[off..], off as u64).unwrap();
+            }
+            fs.unmount().unwrap();
+        }
+        // Remount: a cold cache in front of a still-faulted disk.
+        let fs = FfsFileSystem::mount_on(&k.env, &blkio).expect("remount under faults");
+        let root = fs.getroot().unwrap();
+        let f = root.lookup("cached.dat").unwrap();
+        let mut back = vec![0u8; data.len()];
+        assert_eq!(f.read_at(&mut back, 0).unwrap(), data.len());
+        assert_eq!(back, data, "cache fill not byte-exact under faults");
+        let filled = k.machine.meter.snapshot();
+        assert!(filled.cache_misses > 0, "cold pass never filled the cache");
+        // The warm pass: same bytes, zero new fills.
+        let mut again = vec![0u8; data.len()];
+        assert_eq!(f.read_at(&mut again, 0).unwrap(), data.len());
+        assert_eq!(again, data, "warm readback diverged");
+        let warm = k.machine.meter.snapshot();
+        assert_eq!(
+            warm.cache_misses, filled.cache_misses,
+            "warm pass missed: the cache re-read the faulted disk"
+        );
+        assert!(warm.cache_hits > filled.cache_hits, "warm pass bypassed the cache");
+        fs.unmount().unwrap();
+    });
+    sim.run();
+    (kernel.machine.faults().stats(), kernel.machine.meter.snapshot())
+}
+
+#[test]
+fn cache_fills_retry_under_disk_faults_and_hits_absorb_them() {
+    if !FaultInjector::enabled() {
+        eprintln!("fault feature compiled out; soak skipped");
+        return;
+    }
+    let (fl, wk) = cache_soak_once(0xCAC4_E5EE);
+
+    // The plan bit the fill path...
+    assert!(fl.disk_errors > 0, "no transient disk errors: {fl:?}");
+    // ...and the block layer under the cache absorbed every one.
+    assert!(fl.blk_retries > 0, "cache fills never retried: {fl:?}");
+    assert_eq!(fl.blk_hard_failures, 0, "a cache fill failed hard: {fl:?}");
+
+    // Replay determinism: the cache must not perturb the fault schedule.
+    let (fl2, wk2) = cache_soak_once(0xCAC4_E5EE);
+    assert_eq!(fl, fl2, "cache-soak fault ledger not reproducible");
+    assert_eq!(wk, wk2, "cache-soak work counters not reproducible");
+
+    println!("fault-soak: cache {fl:?}");
+}
+
 /// With no plan installed, the consultation points are inert: a plain run
 /// books an all-zero ledger (this is what keeps the default tables
 /// byte-identical to the seed).
 #[test]
 fn no_plan_means_no_faults() {
-    let r = ttcp_run_faulted(NetConfig::OsKit, NetConfig::FreeBsd, 64, 4096, None);
+    let r = ttcp_run_faulted(NetConfig::oskit(), NetConfig::freebsd(), 64, 4096, None);
     assert!(r.sender_faults.is_zero());
     assert!(r.receiver_faults.is_zero());
 }

@@ -8,8 +8,8 @@ use oskit::{rtcp_run, ttcp_run, ttcp_run_mixed, NetConfig};
 /// incoming skbuffs are wrapped as mbuf clusters, never copied.
 #[test]
 fn table1_receive_parity() {
-    let bsd = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, 512, 4096);
-    let oskit = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKit, 512, 4096);
+    let bsd = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::freebsd(), 512, 4096);
+    let oskit = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::oskit(), 512, 4096);
     let ratio = oskit.mbit_s / bsd.mbit_s;
     assert!(
         (0.97..=1.03).contains(&ratio),
@@ -28,7 +28,7 @@ fn table1_receive_is_zero_copy_at_every_boundary() {
     if !oskit::machine::Tracer::enabled() {
         return; // breakdown compiled out; aggregate parity covered above
     }
-    let r = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKit, 512, 4096);
+    let r = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::oskit(), 512, 4096);
     let report = &r.receiver_boundaries;
     for b in report.nonzero() {
         // The donor stack's sockbuf uiomove (mbuf→user) is the one copy
@@ -45,7 +45,7 @@ fn table1_receive_is_zero_copy_at_every_boundary() {
     }
     // Zero *extra* overall: the OSKit receiver copies exactly as much as
     // a native FreeBSD receiver does.
-    let native = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, 512, 4096);
+    let native = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::freebsd(), 512, 4096);
     assert_eq!(r.receiver.bytes_copied, native.receiver.bytes_copied);
     // The receive path is actually instrumented: the ether glue saw
     // every inbound frame cross.
@@ -67,7 +67,7 @@ fn table1_send_copy_lands_on_ether_glue() {
     if !oskit::machine::Tracer::enabled() {
         return;
     }
-    let r = ttcp_run_mixed(NetConfig::OsKit, NetConfig::FreeBsd, 512, 4096);
+    let r = ttcp_run_mixed(NetConfig::oskit(), NetConfig::freebsd(), 512, 4096);
     let tx = r
         .sender_boundaries
         .get("linux-dev", "ether_tx")
@@ -84,8 +84,8 @@ fn table1_send_copy_lands_on_ether_glue() {
 /// well below FreeBSD.
 #[test]
 fn table1_send_penalty() {
-    let bsd = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, 512, 4096);
-    let oskit = ttcp_run_mixed(NetConfig::OsKit, NetConfig::FreeBsd, 512, 4096);
+    let bsd = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::freebsd(), 512, 4096);
+    let oskit = ttcp_run_mixed(NetConfig::oskit(), NetConfig::freebsd(), 512, 4096);
     assert!(
         oskit.mbit_s < bsd.mbit_s * 0.9,
         "send penalty missing: OSKit {:.2} vs FreeBSD {:.2}",
@@ -101,8 +101,8 @@ fn table1_send_penalty() {
 /// disappears — throughput recovers to FreeBSD's rate.
 #[test]
 fn sg_driver_recovers_send_penalty() {
-    let bsd = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::FreeBsd, 512, 4096);
-    let sg = ttcp_run_mixed(NetConfig::OsKitSg, NetConfig::FreeBsd, 512, 4096);
+    let bsd = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::freebsd(), 512, 4096);
+    let sg = ttcp_run_mixed(NetConfig::oskit().sg(true), NetConfig::freebsd(), 512, 4096);
     assert!(
         sg.mbit_s >= 90.0,
         "SG send did not recover: {:.2} Mbit/s",
@@ -131,7 +131,7 @@ fn sg_send_is_zero_copy_at_ether_glue() {
     if !oskit::machine::Tracer::enabled() {
         return; // aggregate meters covered above
     }
-    let r = ttcp_run_mixed(NetConfig::OsKitSg, NetConfig::FreeBsd, 512, 4096);
+    let r = ttcp_run_mixed(NetConfig::oskit().sg(true), NetConfig::freebsd(), 512, 4096);
     let tx = r
         .sender_boundaries
         .get("linux-dev", "ether_tx")
@@ -151,8 +151,8 @@ fn sg_send_is_zero_copy_at_ether_glue() {
 /// crossings, not copies.
 #[test]
 fn table2_latency_overhead() {
-    let bsd = rtcp_run(NetConfig::FreeBsd, 100);
-    let oskit = rtcp_run(NetConfig::OsKit, 100);
+    let bsd = rtcp_run(NetConfig::freebsd(), 100);
+    let oskit = rtcp_run(NetConfig::oskit(), 100);
     assert!(oskit.rtt_us > bsd.rtt_us + 1.0);
     assert_eq!(bsd.client.crossings, 0);
     assert!(oskit.client.crossings >= 100 * 4, "4+ crossings per RT");
@@ -162,11 +162,11 @@ fn table2_latency_overhead() {
 #[test]
 fn all_configs_transfer_correctly() {
     for cfg in [
-        NetConfig::Linux,
-        NetConfig::FreeBsd,
-        NetConfig::OsKit,
-        NetConfig::OsKitSg,
-        NetConfig::OsKitNapi,
+        NetConfig::linux(),
+        NetConfig::freebsd(),
+        NetConfig::oskit(),
+        NetConfig::oskit().sg(true),
+        NetConfig::oskit().napi(true),
     ] {
         let r = ttcp_run(cfg, 128, 4096);
         assert_eq!(r.bytes, 128 * 4096);
@@ -180,9 +180,9 @@ fn all_configs_transfer_correctly() {
 /// taken one step further.
 #[test]
 fn linux_and_bsd_stacks_interoperate() {
-    let a = ttcp_run_mixed(NetConfig::Linux, NetConfig::FreeBsd, 256, 4096);
+    let a = ttcp_run_mixed(NetConfig::linux(), NetConfig::freebsd(), 256, 4096);
     assert_eq!(a.bytes, 256 * 4096);
-    let b = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::Linux, 256, 4096);
+    let b = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::linux(), 256, 4096);
     assert_eq!(b.bytes, 256 * 4096);
 }
 
@@ -190,8 +190,8 @@ fn linux_and_bsd_stacks_interoperate() {
 /// configuration: receive outruns send.
 #[test]
 fn oskit_receive_beats_oskit_send() {
-    let send = ttcp_run_mixed(NetConfig::OsKit, NetConfig::FreeBsd, 512, 4096);
-    let recv = ttcp_run_mixed(NetConfig::FreeBsd, NetConfig::OsKit, 512, 4096);
+    let send = ttcp_run_mixed(NetConfig::oskit(), NetConfig::freebsd(), 512, 4096);
+    let recv = ttcp_run_mixed(NetConfig::freebsd(), NetConfig::oskit(), 512, 4096);
     assert!(
         recv.mbit_s > send.mbit_s * 1.15,
         "recv {:.2} should clearly beat send {:.2}",

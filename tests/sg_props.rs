@@ -8,8 +8,9 @@
 //! equal the payload exactly, and the sender's work meter must show the
 //! mode's signature: one copy, no copies, or one gather respectively.
 
-use oskit::com::interfaces::blkio::{bufio_to_vec, BufIo, VecBufIo};
+use oskit::com::interfaces::blkio::{bufio_to_vec, BlkIo, BufIo, VecBufIo};
 use oskit::com::interfaces::netio::{EtherDev, FnNetIo, NetIo};
+use oskit::com::{com_object, new_com, SelfRef};
 use oskit::freebsd_net::bsd::mbuf::{Mbuf, MbufChain, MCLBYTES, MLEN};
 use oskit::freebsd_net::glue::bufio::MbufBufIo;
 use oskit::linux_dev::{LinuxEtherDev, NetDevice, NETIF_F_SG};
@@ -169,11 +170,12 @@ proptest! {
         prop_assert_eq!(m.bytes_gathered, f.len() as u64);
     }
 
-    /// SG driver, externally-backed chain: fragment mapping declines
-    /// (the bytes live behind another component's map protocol), so the
-    /// glue falls back to the paper's copy ladder instead of failing.
+    /// SG driver, externally-backed chain whose storage *is* mappable
+    /// (the sendfile case: a lent buffer-cache page): the external mbuf
+    /// contributes its bytes through `with_map`, so the whole frame
+    /// still goes down as one gather with zero copies.
     #[test]
-    fn sg_mode_falls_back_to_copy_for_external_storage(
+    fn sg_mode_gathers_mappable_external_storage(
         payload in proptest::collection::vec(any::<u8>(), 47..1400),
         split in 1usize..1400,
     ) {
@@ -189,8 +191,94 @@ proptest! {
         });
         prop_assert_eq!(frames.len(), 1);
         prop_assert_eq!(&frames[0], &f);
+        prop_assert_eq!(m.copies, 0);
+        prop_assert_eq!(m.bytes_copied, 0);
+        prop_assert_eq!(m.gathers, 1);
+        prop_assert_eq!(m.bytes_gathered, f.len() as u64);
+    }
+
+    /// SG driver, externally-backed chain whose storage *refuses* to map
+    /// (device- or remote-resident bytes): the gather declines, so the
+    /// glue falls back to the paper's copy ladder instead of failing.
+    #[test]
+    fn sg_mode_falls_back_to_copy_for_external_storage(
+        payload in proptest::collection::vec(any::<u8>(), 47..1400),
+        split in 1usize..1400,
+    ) {
+        let f = frame(&payload);
+        let split = 14 + split % payload.len();
+        let head = f[..split].to_vec();
+        let tail = f[split..].to_vec();
+        let (frames, m) = transmit(true, move || {
+            let mut chain = MbufChain::from_mbuf(Mbuf::cluster(&head));
+            let n = tail.len();
+            let foreign = DeviceResident::wrap(tail) as Arc<dyn BufIo>;
+            chain.m_cat(MbufChain::from_mbuf(Mbuf::ext(foreign, 0, n)));
+            MbufBufIo::new(chain) as Arc<dyn BufIo>
+        });
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(&frames[0], &f);
         prop_assert_eq!(m.gathers, 0);
         prop_assert_eq!(m.copies, 1);
         prop_assert_eq!(m.bytes_copied, f.len() as u64);
     }
 }
+
+/// A buffer whose bytes are not in local memory — a device- or
+/// remote-resident object that serves `read` but declines `with_map`,
+/// forcing the SG glue onto its copy-ladder fallback.
+struct DeviceResident {
+    me: SelfRef<DeviceResident>,
+    data: Vec<u8>,
+}
+
+impl DeviceResident {
+    fn wrap(data: Vec<u8>) -> Arc<dyn BufIo> {
+        new_com(
+            DeviceResident {
+                me: SelfRef::new(),
+                data,
+            },
+            |o| &o.me,
+        )
+    }
+}
+
+impl BlkIo for DeviceResident {
+    fn get_block_size(&self) -> usize {
+        1
+    }
+    fn read(&self, buf: &mut [u8], offset: u64) -> oskit::com::Result<usize> {
+        let off = offset as usize;
+        let n = buf.len().min(self.data.len().saturating_sub(off));
+        buf[..n].copy_from_slice(&self.data[off..off + n]);
+        Ok(n)
+    }
+    fn write(&self, _buf: &[u8], _offset: u64) -> oskit::com::Result<usize> {
+        Err(oskit::com::Error::NotImpl)
+    }
+    fn get_size(&self) -> oskit::com::Result<u64> {
+        Ok(self.data.len() as u64)
+    }
+}
+
+impl BufIo for DeviceResident {
+    fn with_map(
+        &self,
+        _offset: usize,
+        _len: usize,
+        _f: &mut dyn FnMut(&[u8]),
+    ) -> oskit::com::Result<()> {
+        Err(oskit::com::Error::NotImpl)
+    }
+    fn with_map_mut(
+        &self,
+        _offset: usize,
+        _len: usize,
+        _f: &mut dyn FnMut(&mut [u8]),
+    ) -> oskit::com::Result<()> {
+        Err(oskit::com::Error::NotImpl)
+    }
+}
+
+com_object!(DeviceResident, me, [BufIo]);

@@ -38,14 +38,27 @@ echo "==> rx battery, napi feature matrix (poll mode + interrupt-per-frame mode)
 cargo test -q -p oskit --test rx_burst --test rx_props
 cargo test -q -p oskit --no-default-features --features trace,fault --test rx_burst --test rx_props
 
+echo "==> sendfile path, feature matrix (trace gates off cleanly; fault-only; napi-only)"
+cargo test -q -p oskit --no-default-features --test sendfile_e2e
+cargo test -q -p oskit --no-default-features --features fault --test sendfile_e2e
+cargo test -q -p oskit --no-default-features --features napi --test sendfile_e2e
+
 if [ "$fast" -eq 0 ]; then
     echo "==> cargo build --release (workspace)"
     cargo build --release
+    echo "==> default table1/table2/table3 stdout byte-identical to tools/golden"
+    # Must run before the no-default-features rebuild below overwrites the
+    # binaries: table3's trace-gated zero-copy check lines only print when
+    # the tracer is compiled in (table1/table2 stdout is identical either
+    # way, which is itself an invariant).
+    ./target/release/table1 | diff - tools/golden/table1.txt
+    ./target/release/table2 | diff - tools/golden/table2.txt
+    ./target/release/table3 | diff - tools/golden/table3.txt
     echo "==> cargo build --release -p oskit-bench --no-default-features (trace off)"
     cargo build --release -p oskit-bench --no-default-features
     echo "==> cargo test -q -p oskit --no-default-features (trace off)"
     cargo test -q -p oskit --no-default-features
-    echo "==> default table1/table2 stdout byte-identical to tools/golden"
+    echo "==> traceless table1/table2 stdout still byte-identical to tools/golden"
     ./target/release/table1 | diff - tools/golden/table1.txt
     ./target/release/table2 | diff - tools/golden/table2.txt
 fi
